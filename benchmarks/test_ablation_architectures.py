@@ -1,0 +1,28 @@
+"""ABL-ARCH bench: higher-order and multi-bit routes (Sec. 4 outlook)."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_architecture_comparison
+
+
+def test_ablation_architectures(benchmark):
+    result = run_once(benchmark, run_architecture_comparison, n_out=2048)
+    print_rows(
+        "ABL-ARCH — modulator architecture comparison at OSR 128",
+        result.rows(),
+    )
+    paper = result.by_label("2nd order, 1 bit (paper)")
+    third = result.by_label("3rd order, 1 bit")
+    mb_ideal = result.by_label("2nd order, 3 bit, ideal DAC")
+    mb_fixed = result.by_label(
+        "2nd order, 3 bit, 0.3% mismatch, fixed"
+    )
+    mb_dwa = result.by_label("2nd order, 3 bit, 0.3% mismatch, DWA")
+    # Shapes: both upgrade routes beat the paper loop…
+    assert third > paper + 10.0
+    assert mb_ideal > paper + 3.0
+    # …mismatch without shaping gives back most of the multi-bit gain…
+    assert mb_fixed < mb_ideal - 8.0
+    # …and DWA recovers it (first-order mismatch shaping).
+    assert mb_dwa > mb_fixed + 8.0
+    assert mb_dwa > mb_ideal - 3.0

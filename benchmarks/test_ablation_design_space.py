@@ -1,0 +1,27 @@
+"""ABL-SPACE bench: the (order x OSR) design grid and its Pareto front."""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments import run_design_space
+
+
+def test_ablation_design_space(benchmark):
+    result = run_once(benchmark, run_design_space, n_out=2048)
+    print_rows(
+        "ABL-SPACE — ENOB over loop order x OSR (ideal loops)",
+        result.rows(),
+    )
+    # Shape: ENOB grows monotonically along both axes…
+    for i in range(len(result.orders)):
+        assert np.all(np.diff(result.enob[i]) > 0), f"order {result.orders[i]}"
+    for j in range(result.osrs.size):
+        assert np.all(np.diff(result.enob[:, j]) > 0), f"OSR {result.osrs[j]}"
+    # …every Pareto point is 3rd order (it dominates at equal rate)…
+    front = result.pareto_front()
+    assert all(p[2] == 3 for p in front)
+    # …and the paper's (2, 128) point supports >= 12 bits, explaining the
+    # chip's 12-bit interface choice.
+    paper_enob = result.enob[result.orders.index(2),
+                             int(np.argmin(np.abs(result.osrs - 128)))]
+    assert paper_enob > 12.0

@@ -1,0 +1,25 @@
+"""ABL-DR bench: SNR vs amplitude — the Fig. 7 companion plot."""
+
+import numpy as np
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments import run_dynamic_range
+
+
+def test_ablation_dynamic_range(benchmark):
+    result = run_once(benchmark, run_dynamic_range, n_fft=2048)
+    print_rows(
+        "ABL-DR — SNR vs input amplitude (Fig. 7 companion)", result.rows()
+    )
+    # Shape: 1 dB/dB in the linear region…
+    assert result.linear_slope() == pytest.approx(1.0, abs=0.1)
+    # …peak above the paper's 72 dB near full scale…
+    assert result.peak_snr_db > 72.0
+    assert result.peak_amplitude_dbfs > -6.0
+    # …and monotone growth until the peak.
+    valid = ~np.isnan(result.snr_db)
+    upto_peak = result.snr_db[valid][
+        : int(np.nanargmax(result.snr_db[valid])) + 1
+    ]
+    assert np.all(np.diff(upto_peak) > -1.0)

@@ -1,0 +1,30 @@
+"""ABL-FB bench: the paper's future-work feedback-capacitor knob.
+
+Sec. 4: resolution "can be achieved by adjusting the feedback capacitors
+of the first modulator stage". Sweeps Cfb and maps the SNR-vs-overload
+trade-off.
+"""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments import run_feedback_ablation
+
+
+def test_ablation_feedback(benchmark):
+    result = run_once(benchmark, run_feedback_ablation, n_out=2048)
+    print_rows(
+        "ABL-FB — first-stage feedback-capacitor sweep (Sec. 4 outlook)",
+        result.rows(),
+    )
+    ratios = result.cfb_ratios
+    snr = result.snr_db
+    nominal = int(np.argmin(np.abs(ratios - 1.0)))
+    best = int(np.nanargmax(snr))
+    # Shape: moderate Cfb reduction improves SNR (the paper's proposal)…
+    assert snr[best] >= snr[nominal]
+    assert result.best_ratio <= 1.0
+    # …but aggressive reduction overloads the loop and collapses SNR.
+    smallest = int(np.argmin(ratios))
+    assert result.clipped_fraction[smallest] > 0.3
+    assert snr[smallest] < snr[best] - 20.0

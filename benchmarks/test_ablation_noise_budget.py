@@ -1,0 +1,27 @@
+"""ABL-NOISE bench: the analog budget behind the 72 dB."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_noise_budget
+
+
+def test_ablation_noise_budget(benchmark):
+    result = run_once(benchmark, run_noise_budget, n_fft=2048)
+    print_rows(
+        "ABL-NOISE — analog noise budget (per-contributor SNR)",
+        result.rows(),
+    )
+    ideal_12b, ideal_float = result.by_label("ideal loop")
+    # The 12-bit interface is the binding constraint: the production path
+    # barely moves across analog configurations…
+    for label in result.labels:
+        snr_12b, _ = result.by_label(label)
+        assert abs(snr_12b - ideal_12b) < 4.0
+    # …while the float path exposes each contributor.
+    _, ktc_float = result.by_label("kT/C only (C = 5 fF)")
+    _, ref_float = result.by_label("reference noise only (1 mVref)")
+    _, cmp_float = result.by_label("comparator offset only (100 mV)")
+    assert ktc_float < ideal_float - 5.0  # thermal noise costs
+    assert ref_float < ideal_float - 5.0  # un-shaped reference costs
+    # Comparator offset is noise-shaped: nearly free.
+    assert abs(cmp_float - ideal_float) < 3.0

@@ -1,0 +1,28 @@
+"""ABL-OSR bench: resolution vs conversion rate (Sec. 4 outlook).
+
+Sweeps the OSR at fixed 128 kHz modulator clock: each halving of OSR
+doubles the conversion rate and costs ~2.5 bits (2nd-order loop). Includes
+the 1st-order-loop comparison from DESIGN.md §5.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments import run_osr_ablation
+
+
+def test_ablation_osr(benchmark):
+    result = run_once(benchmark, run_osr_ablation, n_out=2048)
+    print_rows(
+        "ABL-OSR — ENOB vs OSR / conversion rate (Sec. 4 outlook)",
+        result.rows(),
+    )
+    # Shape: ~2.5 bit/octave for the paper's 2nd-order loop, ~1.5 for the
+    # 1st-order baseline; 2nd order wins everywhere.
+    assert result.slope_2nd_bits_per_octave == pytest.approx(2.5, abs=0.6)
+    assert result.slope_1st_bits_per_octave == pytest.approx(1.5, abs=0.5)
+    assert (result.enob_2nd > result.enob_1st).all()
+    # The paper's OSR-128 point supports >= 12-bit output resolution.
+    idx = int(np.argmin(np.abs(result.osrs - 128)))
+    assert result.enob_2nd[idx] > 12.0

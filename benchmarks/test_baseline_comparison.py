@@ -1,0 +1,26 @@
+"""INTRO-BASE bench: cuff vs tonometer vs catheter through a transient.
+
+The paper's Sec. 1 motivation, quantified: the intermittent cuff misses a
+hypertensive transient that the continuous methods track.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_baseline_comparison
+
+
+def test_baseline_comparison(benchmark):
+    result = run_once(benchmark, run_baseline_comparison, duration_s=120.0)
+    print_rows(
+        "INTRO-BASE — methods comparison through a 25 mmHg transient",
+        result.rows(),
+    )
+    # Shape (the paper's thesis): continuous methods beat the cuff, the
+    # invasive catheter is the accuracy reference.
+    assert result.catheter_rmse < result.cuff_rmse
+    assert result.tonometer_rmse < result.cuff_rmse
+    # The cuff gets at most a couple of readings into the 2-minute
+    # record ("single measurements", Sec. 1).
+    assert result.cuff_readings <= 3
+    # The tonometer stays within a few mmHg of truth.
+    assert result.tonometer_rmse < 8.0

@@ -1,0 +1,41 @@
+"""FIG9 bench: the continuous blood-pressure recording with cuff anchor.
+
+Paper: sensor on the wrist, continuous relative waveform, absolute scale
+from one hand-cuff systolic/diastolic reading. Ground truth is exact
+here, so the bench reports the errors the paper could only plot.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_waveform(benchmark):
+    result = run_once(benchmark, run_fig9, duration_s=16.0)
+    print_rows(
+        "FIG9 — continuous BP waveform, cuff-calibrated (Fig. 9)",
+        result.rows(),
+    )
+    r = result.result
+    # Shape: calibrated sys/dia within a few mmHg of ground truth.
+    assert abs(r.systolic_error_mmhg) < 5.0
+    assert abs(r.diastolic_error_mmhg) < 5.0
+    assert r.waveform_rms_error_mmhg() < 4.0
+    # Morphology: the waveform is a usable pulse (notch + correct rate).
+    assert result.dicrotic_notch_detected
+    assert abs(result.pulse_rate_error_bpm) < 3.0
+    assert r.quality.acceptable
+
+
+def test_fig9_off_axis_placement(benchmark):
+    """Placement robustness: 1 mm lateral misplacement still yields a
+    calibratable waveform (the array's purpose)."""
+    result = run_once(
+        benchmark, run_fig9, duration_s=12.0, lateral_offset_m=1.0e-3
+    )
+    print_rows(
+        "FIG9b — same protocol, 1 mm lateral placement error",
+        result.rows(),
+    )
+    assert abs(result.result.systolic_error_mmhg) < 6.0
+    assert result.result.quality.acceptable

@@ -1,0 +1,26 @@
+"""FIG1/LOC bench: placement tolerance + vessel localization (Secs. 1-2)."""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments import run_localization
+
+
+def test_localization(benchmark):
+    result = run_once(benchmark, run_localization, n_offsets=41)
+    print_rows(
+        "FIG1/LOC — placement tolerance and vessel localization (Sec. 2)",
+        result.rows(),
+    )
+    # Shape: selecting the strongest element always at least matches the
+    # fixed element, and helps on average.
+    assert np.all(result.selected_gain >= result.fixed_gain - 1e-12)
+    assert result.selection_advantage > 1.0
+    # Coupling of the best element degrades gracefully out to 1 mm.
+    mid = result.offsets_m.size // 2
+    at_1mm = np.interp(1e-3, result.offsets_m, result.selected_gain)
+    assert at_1mm > 0.7 * result.selected_gain[mid]
+    # Localization on the 8x8 array: median error well below the array
+    # half-span.
+    half_span = 7 * 150e-6 / 2
+    assert np.median(result.centroid_error_m) < half_span

@@ -1,0 +1,22 @@
+"""FIG2/MEM bench: transducer characterization (Sec. 2.1 membrane)."""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments import run_membrane_transfer
+
+
+def test_membrane_transfer(benchmark):
+    result = run_once(benchmark, run_membrane_transfer, n_points=201)
+    print_rows(
+        "FIG2/MEM — membrane transducer characterization (Sec. 2.1)",
+        result.rows(),
+    )
+    # Shape: monotone, nearly linear over the physiologic band, rest
+    # capacitance in the hundreds of fF for a 100 um CMOS membrane.
+    assert np.all(np.diff(result.capacitances_f) > 0)
+    assert result.max_linearity_error_fraction < 1e-3
+    assert 50e-15 < result.rest_capacitance_f < 1e-12
+    # Quasi-static operation: resonance orders of magnitude above the
+    # 500 Hz signal band.
+    assert result.resonance_hz > 1e6

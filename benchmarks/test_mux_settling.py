@@ -1,0 +1,23 @@
+"""FIG4/MUX bench: element-switch settling budget (Sec. 2.2 claim)."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_mux_settling
+
+
+def test_mux_settling(benchmark):
+    result = run_once(benchmark, run_mux_settling, n_words=128)
+    print_rows(
+        "FIG4/MUX — mux settling vs. converter bandwidth (Sec. 2.2)",
+        result.rows(),
+    )
+    # The paper's claim: settling is limited by the sigma-delta signal
+    # bandwidth, i.e. the filter, with the analog switch orders of
+    # magnitude faster.
+    assert result.timing.dominant == "filter"
+    assert result.electrical_to_filter_ratio < 1e-4
+    # The empirical settle agrees with the analytic flush budget.
+    assert (
+        result.empirical_settle_words
+        <= result.timing.output_words_discarded + 4
+    )

@@ -1,0 +1,28 @@
+"""EVAL-POP bench: the Fig. 9 protocol over a virtual population.
+
+The device-validation statistics the paper's single subject cannot give:
+mean +/- SD of sys/dia errors across 10 diversified virtual subjects,
+judged against the AAMI/ISO <= 5 +/- 8 mmHg criterion.
+"""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments import run_population
+
+
+def test_population(benchmark):
+    result = run_once(
+        benchmark, run_population, n_subjects=10, duration_s=10.0
+    )
+    print_rows(
+        "EVAL-POP — population accuracy (AAMI-style)", result.rows()
+    )
+    assert result.n_subjects == 10
+    assert result.passes_aami()
+    # No catastrophic outlier (a subject where the protocol silently
+    # failed would show tens of mmHg).
+    assert np.max(np.abs(result.systolic_errors_mmhg)) < 12.0
+    assert np.max(np.abs(result.diastolic_errors_mmhg)) < 12.0
+    # The waveform itself, not just the two anchor points, tracks truth.
+    assert np.median(result.waveform_rms_mmhg) < 5.0

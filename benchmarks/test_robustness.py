@@ -1,0 +1,31 @@
+"""ROBUST bench: field-condition robustness (Sec. 4's future field tests)."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_robustness
+
+
+def test_robustness(benchmark):
+    result = run_once(benchmark, run_robustness, duration_s=30.0)
+    print_rows(
+        "ROBUST — motion artifacts, thermal drift, hold-down servo "
+        "(Sec. 4)",
+        result.rows(),
+    )
+    # Artifact defense: every injected event overlapped by flags, few
+    # false flags elsewhere.
+    assert result.artifact_sensitivity > 0.8
+    assert result.artifact_specificity > 0.7
+    # Rejection must not make the features worse.
+    assert abs(result.sys_error_with_rejection_mmhg) <= (
+        abs(result.sys_error_no_rejection_mmhg) + 1.0
+    )
+    # Thermal drift: sub-percent gain drift, sub-mmHg error — stability
+    # is adequate without continuous recalibration…
+    assert abs(result.warmup_gain_drift_fraction) < 0.02
+    assert result.drift_error_uncorrected_mmhg < 2.0
+    # …so the policy re-cuffs on its time floor only.
+    assert result.recalibrations_in_30min >= 1
+    # Servo: lands within 10 % of the true transmission optimum.
+    error = abs(result.servo_found_pa - result.servo_true_optimum_pa)
+    assert error < 0.1 * result.servo_true_optimum_pa

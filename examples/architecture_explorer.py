@@ -1,0 +1,55 @@
+"""Modulator design-space exploration: what a second silicon spin buys.
+
+The paper's outlook wants more resolution and a faster conversion rate.
+This example maps the whole (loop order x OSR) grid, prints the ENOB
+table and the Pareto front, and shows the two concrete upgrade paths:
+a 3rd-order loop and a 3-bit quantizer with DWA.
+
+Run:  python examples/architecture_explorer.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_architecture_comparison, run_design_space
+
+
+def main() -> None:
+    print("mapping the (order x OSR) grid (ideal loops; ~5 s)...")
+    space = run_design_space(n_out=1024)
+
+    print()
+    print("ENOB grid [bits]  (rows: loop order; columns: OSR)")
+    header = "order\\OSR " + "".join(f"{int(o):>7d}" for o in space.osrs)
+    print("  " + header)
+    for i, order in enumerate(space.orders):
+        cells = "".join(f"{space.enob[i, j]:>7.1f}" for j in range(space.osrs.size))
+        print(f"  {order:<9d}{cells}")
+    print(
+        "  conv.rate " + "".join(
+            f"{space.conversion_rates_hz[j]/1000:>6.1f}k"
+            for j in range(space.osrs.size)
+        )
+    )
+
+    print()
+    print("Pareto front (conversion rate vs ENOB):")
+    for rate, enob, order, osr in space.pareto_front():
+        print(f"  {rate:7.0f} S/s -> {enob:5.1f} bit   (order {order}, OSR {osr})")
+
+    print()
+    print("paper's operating point: order 2, OSR 128 -> "
+          f"{space.enob[space.orders.index(2), int(np.argmin(np.abs(space.osrs - 128)))]:.1f} bit "
+          "modulator capability (the chip exports 12 of them)")
+
+    print()
+    print("upgrade routes with implementation realities (~5 s)...")
+    arch = run_architecture_comparison(n_out=1024)
+    for quantity, _, measured in arch.rows():
+        print(f"  {quantity:<55} {measured}")
+    print()
+    print("moral: the 3-bit route needs mismatch shaping (DWA) to deliver;")
+    print("the 3rd-order route needs nothing but a smaller stable range.")
+
+
+if __name__ == "__main__":
+    main()

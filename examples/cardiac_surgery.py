@@ -1,0 +1,88 @@
+"""Epicardial application: the sensor on the beating heart.
+
+The paper's Sec. 1: "an invasive application, e.g., on the beating heart
+during surgery is also possible." Surgically, the chip rests directly on
+the ventricular epicardium: no skin, no tissue attenuation, a ventricular
+(not arterial) pressure shape — systolic plateau, near-zero diastole —
+and surgical heart rates. This example runs the identical readout chain
+and calibration protocol in that regime and compares the recovered
+ventricular waveform against ground truth.
+
+Run:  python examples/cardiac_surgery.py
+"""
+
+import numpy as np
+
+from repro import BloodPressureMonitor, ReadoutChain, VirtualPatient
+from repro.baselines import ArterialLineReference
+from repro.params import (
+    PASCAL_PER_MMHG,
+    PatientParams,
+    paper_defaults,
+)
+from repro.physiology import ventricular_template
+from repro.tonometry import ContactModel, TonometricCoupling
+from repro.params import TissueParams
+
+
+def main() -> None:
+    params = paper_defaults()
+    rng = np.random.default_rng(2005)
+
+    # Left ventricle during surgery: 110/6 mmHg at 80 bpm, ventricular
+    # waveform shape.
+    lv = PatientParams(
+        systolic_mmhg=110.0,
+        diastolic_mmhg=6.0,
+        heart_rate_bpm=80.0,
+        respiration_depth_mmhg=1.0,  # ventilated patient
+    )
+    patient = VirtualPatient(lv, template=ventricular_template(), rng=rng)
+
+    # Direct epicardial contact: the "artery" IS the surface. Near-zero
+    # tissue depth and a broad contact mean transmission ~unity and no
+    # placement sensitivity.
+    epicardial_tissue = TissueParams(
+        artery_radius_m=10e-3,  # the ventricle, not a 1 mm vessel
+        artery_depth_m=0.5e-3,  # a film of epicardial fat at most
+        surface_spread_m=10e-3,
+    )
+    lv_map = 6.0 + (110.0 - 6.0) / 3.0
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=epicardial_tissue,
+        mean_arterial_pressure_pa=lv_map * PASCAL_PER_MMHG,
+        transmission_width_fraction=1.5,  # forgiving: direct contact
+    )
+    chain = ReadoutChain(params, rng=rng)
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        contact_heterogeneity=0.1,
+        rng=rng,
+    )
+    # No cuff in the OR: calibrate against the arterial/ventricular line
+    # already in place (a cuff physically cannot reach a 6 mmHg
+    # diastole, and the monitor's cuff model correctly refuses to try).
+    monitor = BloodPressureMonitor(
+        chain, coupling, cuff=ArterialLineReference()
+    )
+
+    print("running 12 s epicardial session (LV 110/6 mmHg at 80 bpm)...")
+    result = monitor.measure(patient, duration_s=12.0, rng=rng)
+    print()
+    print(result.summary())
+
+    # Ventricular morphology: unlike the radial pulse, diastole sits near
+    # zero for ~60 % of the beat.
+    wave = result.calibrated_mmhg[2000:10000]
+    below_20 = float(np.mean(wave < 20.0))
+    print()
+    print(f"fraction of the beat below 20 mmHg : {below_20 * 100:.0f} % "
+          "(ventricular signature; a radial pulse never goes there)")
+    print(f"recovered systolic plateau          : {np.percentile(wave, 98):.0f} mmHg")
+    print(f"recovered diastolic floor           : {np.percentile(wave, 5):.0f} mmHg")
+
+
+if __name__ == "__main__":
+    main()

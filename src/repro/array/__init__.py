@@ -1,0 +1,24 @@
+"""Transducer array, analog multiplexer and scan/selection logic.
+
+Sec. 2 of the paper: "an array of force detectors is used and the sensor
+element with the strongest signal is selected during measurement. This can
+also be used for localizing blood vessels." Sec. 2.2 / Fig. 4: the 2x2
+array connects to the single readout through two synchronized analog
+multiplexers (row and column select), a modular design extensible to
+larger arrays; settling when switching elements is limited by the
+sigma-delta converter's signal bandwidth.
+"""
+
+from .element import ArrayElement
+from .array2d import SensorArray
+from .mux import AnalogMultiplexer, MuxTimingAnalysis
+from .scan import ElementSelection, ScanController
+
+__all__ = [
+    "AnalogMultiplexer",
+    "ArrayElement",
+    "ElementSelection",
+    "MuxTimingAnalysis",
+    "ScanController",
+    "SensorArray",
+]

@@ -1,0 +1,180 @@
+"""Synchronized row/column analog multiplexers (Fig. 4) and mux timing.
+
+Two 2:1 multiplexers (row select, column select) connect one transducer to
+the readout. Electrically the switch settles within nanoseconds (on-chip
+RC), so — as the paper notes — "the settling when switching between
+different sensor elements is limited by the signal bandwidth of the
+sigma-delta-AD-converter": after a switch, the decimation filter still
+contains history of the previous element, and output words are invalid
+until the filter impulse response has flushed. :class:`MuxTimingAnalysis`
+quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..dsp.decimator import DecimationFilter
+from .array2d import SensorArray
+
+
+class AnalogMultiplexer:
+    """Row/column element selection with a switching-transient model.
+
+    Parameters
+    ----------
+    array:
+        The sensor array being scanned.
+    switch_resistance_ohm:
+        On-resistance of the pass gates; with the sensor capacitance it
+        sets the electrical settling time constant.
+    charge_injection_c:
+        Charge injected onto the readout node by switching [C]; decays
+        within one electrical time constant and is modelled as a one-
+        sample capacitance glitch.
+    """
+
+    def __init__(
+        self,
+        array: SensorArray,
+        switch_resistance_ohm: float = 2e3,
+        charge_injection_c: float = 5e-15 * 2.5,
+    ):
+        if switch_resistance_ohm <= 0:
+            raise ConfigurationError("switch resistance must be positive")
+        self.array = array
+        self.switch_resistance_ohm = float(switch_resistance_ohm)
+        self.charge_injection_c = float(charge_injection_c)
+        self._selected = 0
+        self._just_switched = False
+
+    # -- selection ----------------------------------------------------------
+
+    @property
+    def selected(self) -> int:
+        return self._selected
+
+    @property
+    def selected_rowcol(self) -> tuple[int, int]:
+        return self.array.geometry.element_rowcol(self._selected)
+
+    def select(self, row: int, col: int) -> None:
+        """Drive the row/column select lines."""
+        index = self.array.geometry.element_index(row, col)
+        self.select_index(index)
+
+    def select_index(self, index: int) -> None:
+        if not 0 <= index < self.array.n_elements:
+            raise ConfigurationError(
+                f"element index {index} outside 0..{self.array.n_elements - 1}"
+            )
+        if index != self._selected:
+            self._just_switched = True
+        self._selected = index
+
+    # -- electrical behaviour ---------------------------------------------------
+
+    @property
+    def electrical_time_constant_s(self) -> float:
+        """R_on * C_sense: the (negligible) analog settling constant."""
+        c = self.array.sensor.rest_capacitance_f
+        return self.switch_resistance_ohm * c
+
+    def electrical_settling_samples(
+        self, sampling_rate_hz: float, n_time_constants: float = 10.0
+    ) -> float:
+        """Modulator clocks needed for the *electrical* transient."""
+        if sampling_rate_hz <= 0:
+            raise ConfigurationError("sampling rate must be positive")
+        return (
+            n_time_constants
+            * self.electrical_time_constant_s
+            * sampling_rate_hz
+        )
+
+    def routed_capacitance_f(
+        self, element_pressures_pa: np.ndarray
+    ) -> np.ndarray:
+        """Capacitance seen by the readout for the selected element.
+
+        ``element_pressures_pa`` shape (n_samples, n_elements); the first
+        returned sample after a switch carries the charge-injection glitch
+        (expressed as an equivalent capacitance error at Vref = 2.5 V).
+        """
+        pressures = np.asarray(element_pressures_pa, dtype=float)
+        if pressures.ndim != 2 or pressures.shape[1] != self.array.n_elements:
+            raise ConfigurationError(
+                "expected shape (n_samples, n_elements)"
+            )
+        caps = self.array.elements[self._selected].capacitance_f(
+            pressures[:, self._selected]
+        )
+        if self._just_switched and caps.size:
+            caps = caps.copy()
+            caps[0] += self.charge_injection_c / 2.5
+            self._just_switched = False
+        return caps
+
+
+@dataclass(frozen=True)
+class MuxTimingAnalysis:
+    """Settling budget for element switching (the Sec. 2.2 claim).
+
+    Attributes
+    ----------
+    electrical_settling_s:
+        Time for the analog switch transient (10 tau).
+    filter_flush_s:
+        Time for the decimation filter to forget the previous element:
+        the full impulse-response length of CIC and FIR.
+    output_words_discarded:
+        Output words that must be dropped after each switch.
+    """
+
+    electrical_settling_s: float
+    filter_flush_s: float
+    output_words_discarded: int
+
+    @property
+    def dominant(self) -> str:
+        """Which mechanism limits switching — 'filter' per the paper."""
+        return (
+            "filter"
+            if self.filter_flush_s >= self.electrical_settling_s
+            else "electrical"
+        )
+
+    @property
+    def max_scan_rate_hz(self) -> float:
+        """Fastest per-element visit rate with one valid word per dwell."""
+        total = self.filter_flush_s + max(self.electrical_settling_s, 0.0)
+        return 1.0 / total if total > 0 else math.inf
+
+
+def analyze_mux_timing(
+    mux: AnalogMultiplexer,
+    decimator: DecimationFilter,
+) -> MuxTimingAnalysis:
+    """Compute the switching budget for a mux/decimator pairing."""
+    fs = decimator.input_rate_hz
+    electrical = mux.electrical_settling_samples(fs) / fs
+    # Full impulse-response length, not just group delay: the filter's
+    # memory of the previous element must drain completely.
+    cic_memory = (
+        decimator.params.cic_order
+        * decimator.params.cic_decimation
+        / fs
+    )
+    fir_rate = fs / decimator.params.cic_decimation
+    fir_memory = decimator.params.fir_taps / fir_rate
+    flush = cic_memory + fir_memory
+    words = math.ceil(flush * decimator.output_rate_hz)
+    return MuxTimingAnalysis(
+        electrical_settling_s=electrical,
+        filter_flush_s=flush,
+        output_words_discarded=words,
+    )

@@ -1,0 +1,21 @@
+"""Baseline blood-pressure methods from the paper's introduction.
+
+Sec. 1 motivates the sensor against two incumbents: "External methods
+based on hand cuffs ... are only able to accomplish single measurements";
+"Intravascular pressure sensors are capable of recording continuous blood
+pressure data, but they have to be implanted". Both are implemented here
+as comparators — the cuff doubles as the calibration reference of
+Sec. 3.2 — plus an ideal Nyquist ADC as the readout-circuit baseline.
+"""
+
+from .cuff import CuffReading, OscillometricCuff
+from .catheter import ArterialLineReference, CatheterReference
+from .ideal_adc import IdealADC
+
+__all__ = [
+    "ArterialLineReference",
+    "CatheterReference",
+    "CuffReading",
+    "IdealADC",
+    "OscillometricCuff",
+]

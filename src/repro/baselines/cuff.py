@@ -1,0 +1,209 @@
+"""Oscillometric hand-cuff simulator: the intermittent baseline.
+
+Models what a conventional automatic cuff does: inflate above systole,
+deflate slowly while recording the small pressure oscillations the artery
+imprints on the cuff, and estimate systolic/diastolic from the oscillation
+envelope with the fixed-ratio algorithm (systole where the envelope climbs
+through ~55 % of its peak on the high side, diastole where it falls
+through ~60 % on the low side). One measurement takes tens of seconds — the "single measurements at
+a rate of some Hertz" limitation the paper's introduction cites — and the
+result carries a few mmHg of method error, which propagates into any
+calibration anchored to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erf
+
+from ..errors import ConfigurationError, SignalQualityError
+from ..physiology.patient import VirtualPatient
+
+#: Empirical fixed-ratio constants of commercial oscillometric monitors.
+SYSTOLIC_RATIO = 0.55
+DIASTOLIC_RATIO = 0.60
+
+
+@dataclass(frozen=True)
+class CuffReading:
+    """One completed cuff measurement."""
+
+    systolic_mmhg: float
+    diastolic_mmhg: float
+    map_mmhg: float
+    measurement_duration_s: float
+    #: Cuff pressure and oscillation-envelope traces (for inspection).
+    cuff_pressure_mmhg: np.ndarray
+    envelope_mmhg: np.ndarray
+    times_s: np.ndarray
+
+
+class OscillometricCuff:
+    """Automatic oscillometric cuff.
+
+    Parameters
+    ----------
+    deflation_rate_mmhg_per_s:
+        Linear bleed rate (clinical practice: 2-3 mmHg/s).
+    inflate_margin_mmhg:
+        How far above (expected) systole the cuff inflates.
+    width_above_map_mmhg, width_below_map_mmhg:
+        Widths of the (asymmetric) bell curve relating oscillation
+        amplitude to transmural pressure. Clinical envelopes fall off
+        more slowly on the high-cuff-pressure side than on the low side;
+        the defaults make the fixed-ratio estimates land near the true
+        values for a normotensive subject, as commercial devices are
+        tuned to do.
+    sensor_noise_mmhg:
+        RMS noise of the cuff's own pressure transducer.
+    """
+
+    def __init__(
+        self,
+        deflation_rate_mmhg_per_s: float = 3.0,
+        inflate_margin_mmhg: float = 30.0,
+        width_above_map_mmhg: float = 10.0,
+        width_below_map_mmhg: float = 6.0,
+        sensor_noise_mmhg: float = 0.15,
+        sample_rate_hz: float = 100.0,
+    ):
+        if deflation_rate_mmhg_per_s <= 0:
+            raise ConfigurationError("deflation rate must be positive")
+        if (
+            inflate_margin_mmhg <= 0
+            or width_above_map_mmhg <= 0
+            or width_below_map_mmhg <= 0
+        ):
+            raise ConfigurationError("margins/widths must be positive")
+        if sensor_noise_mmhg < 0:
+            raise ConfigurationError("sensor noise must be >= 0")
+        if sample_rate_hz <= 10:
+            raise ConfigurationError("cuff sampling must exceed 10 Hz")
+        self.deflation_rate = float(deflation_rate_mmhg_per_s)
+        self.inflate_margin = float(inflate_margin_mmhg)
+        self.width_above_map = float(width_above_map_mmhg)
+        self.width_below_map = float(width_below_map_mmhg)
+        self.sensor_noise = float(sensor_noise_mmhg)
+        self.sample_rate_hz = float(sample_rate_hz)
+
+    def measure(
+        self,
+        patient: VirtualPatient,
+        start_time_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> CuffReading:
+        """Run one inflate-deflate cycle against the virtual patient."""
+        rng = rng or np.random.default_rng(401)
+        # Plan the deflation ramp from above systole to below diastole.
+        expected_sys = patient.params.systolic_mmhg
+        expected_dia = patient.params.diastolic_mmhg
+        start_pressure = expected_sys + self.inflate_margin
+        stop_pressure = max(expected_dia - 25.0, 20.0)
+        duration = (start_pressure - stop_pressure) / self.deflation_rate
+
+        recording = patient.record(
+            duration_s=duration + 2.0, sample_rate_hz=self.sample_rate_hz
+        )
+        t = recording.times_s
+        arterial = recording.pressure_mmhg
+        cuff = start_pressure - self.deflation_rate * t
+
+        # Oscillation = arterial volume state under the cuff. The artery's
+        # compliance dV/dP is a bell around zero transmural pressure, so
+        # the volume (its integral over pressure) is an erf of the
+        # instantaneous transmural pressure. The per-beat volume excursion
+        # — what the device's envelope tracks — is then maximal while the
+        # compliance bell lies inside the [dia, sys] swing and rolls off
+        # exactly as the cuff pressure crosses systole (high side) and
+        # diastole (low side): the mechanism that makes fixed-ratio
+        # estimates track sys/dia across patients with different pulse
+        # pressures. Width asymmetry matches the artery's stiffer
+        # collapse-side behaviour.
+        transmural = cuff - arterial
+        width = np.where(
+            transmural >= 0.0, self.width_above_map, self.width_below_map
+        )
+        volume_state = erf(-transmural / (width * np.sqrt(2.0)))
+        # Full volume swing imprints ~1.5 mmHg on the cuff (clinical
+        # oscillation amplitudes are 1-3 mmHg).
+        oscillation = 1.5 * volume_state
+        measured = cuff + oscillation + self.sensor_noise * rng.standard_normal(
+            t.size
+        )
+
+        envelope = self._beat_envelope(measured - cuff, t, patient)
+        return self._estimate(measured, envelope, cuff, t, start_time_s)
+
+    def _beat_envelope(
+        self,
+        oscillation: np.ndarray,
+        times_s: np.ndarray,
+        patient: VirtualPatient,
+    ) -> np.ndarray:
+        """Per-beat peak-to-peak amplitude, interpolated to the grid."""
+        rr = 60.0 / patient.params.heart_rate_bpm
+        window = max(int(rr * self.sample_rate_hz), 4)
+        n_windows = oscillation.size // window
+        if n_windows < 5:
+            raise SignalQualityError("deflation too fast: too few beats")
+        centers = []
+        amplitudes = []
+        for k in range(n_windows):
+            seg = oscillation[k * window : (k + 1) * window]
+            centers.append(times_s[k * window + window // 2])
+            amplitudes.append(float(seg.max() - seg.min()))
+        return np.interp(times_s, centers, amplitudes)
+
+    def _estimate(
+        self,
+        measured: np.ndarray,
+        envelope: np.ndarray,
+        cuff: np.ndarray,
+        times_s: np.ndarray,
+        start_time_s: float,
+    ) -> CuffReading:
+        peak_idx = int(np.argmax(envelope))
+        peak_amp = float(envelope[peak_idx])
+        if peak_amp <= 0:
+            raise SignalQualityError("no oscillation envelope detected")
+
+        # Fixed-ratio points: systolic on the high-pressure (early) side,
+        # diastolic on the low-pressure (late) side.
+        sys_region = envelope[:peak_idx]
+        above = np.nonzero(sys_region >= SYSTOLIC_RATIO * peak_amp)[0]
+        if above.size == 0:
+            raise SignalQualityError("systolic ratio point not found")
+        systolic = float(cuff[above[0]])
+
+        dia_region = envelope[peak_idx:]
+        below = np.nonzero(dia_region <= DIASTOLIC_RATIO * peak_amp)[0]
+        if below.size == 0:
+            raise SignalQualityError("diastolic ratio point not found")
+        diastolic = float(cuff[peak_idx + below[0]])
+
+        # MAP by the clinical formula, as commercial devices report it:
+        # the volume-swing envelope is plateau-shaped between diastole
+        # and systole, so its raw argmax is a poor MAP estimator.
+        map_mmhg = diastolic + (systolic - diastolic) / 3.0
+
+        return CuffReading(
+            systolic_mmhg=systolic,
+            diastolic_mmhg=diastolic,
+            map_mmhg=map_mmhg,
+            measurement_duration_s=float(times_s[-1] - times_s[0]),
+            cuff_pressure_mmhg=cuff,
+            envelope_mmhg=envelope,
+            times_s=times_s + start_time_s,
+        )
+
+    def measurement_interval_s(self, rest_s: float = 30.0) -> float:
+        """Minimum time between successive readings (cycle + venous rest).
+
+        This is the number that makes the cuff *intermittent*: the
+        tonometer produces 1000 samples/s, the cuff one reading per
+        minute-ish.
+        """
+        typical_cycle = (120.0 + self.inflate_margin - 55.0) / self.deflation_rate
+        return typical_cycle + rest_s

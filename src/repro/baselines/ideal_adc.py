@@ -1,0 +1,76 @@
+"""Ideal Nyquist ADC: the readout-circuit baseline.
+
+A hypothetical converter that samples the loop input directly at the
+output rate with an N-bit uniform quantizer and no noise shaping. Against
+it, the sigma-delta chain's benefit (noise shaping + decimation gain from
+the 128x oversampling) can be quantified: the bench compares ENOB of both
+readouts at equal output rate and word width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class IdealADC:
+    """Uniform mid-tread quantizer with optional input-referred noise.
+
+    Parameters
+    ----------
+    bits:
+        Output word width.
+    full_scale:
+        Input magnitude mapping to the positive code limit.
+    noise_sigma:
+        RMS additive input noise (same units as the input); models a
+        comparably specified Nyquist front end.
+    """
+
+    def __init__(
+        self, bits: int = 12, full_scale: float = 1.0, noise_sigma: float = 0.0
+    ):
+        if bits < 2:
+            raise ConfigurationError("need at least 2 bits")
+        if full_scale <= 0:
+            raise ConfigurationError("full scale must be positive")
+        if noise_sigma < 0:
+            raise ConfigurationError("noise must be >= 0")
+        self.bits = int(bits)
+        self.full_scale = float(full_scale)
+        self.noise_sigma = float(noise_sigma)
+
+    @property
+    def lsb(self) -> float:
+        return self.full_scale / (1 << (self.bits - 1))
+
+    def convert(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Quantize a record to integer codes."""
+        x = np.asarray(samples, dtype=float)
+        if self.noise_sigma > 0:
+            rng = rng or np.random.default_rng(555)
+            x = x + self.noise_sigma * rng.standard_normal(x.shape)
+        codes = np.round(x / self.lsb).astype(np.int64)
+        top = (1 << (self.bits - 1)) - 1
+        return np.clip(codes, -top - 1, top)
+
+    def convert_to_values(
+        self,
+        samples: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Quantize and map back to input units."""
+        return self.convert(samples, rng=rng).astype(float) * self.lsb
+
+    def ideal_snr_db(self, amplitude: float | None = None) -> float:
+        """Textbook SNR for a sine: 6.02 N + 1.76 dB (full scale)."""
+        amp = amplitude if amplitude is not None else self.full_scale
+        if amp <= 0 or amp > self.full_scale:
+            raise ConfigurationError("amplitude must be in (0, full_scale]")
+        backoff_db = 20.0 * np.log10(amp / self.full_scale)
+        return 6.02 * self.bits + 1.76 + backoff_db

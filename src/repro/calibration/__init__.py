@@ -1,0 +1,32 @@
+"""Waveform feature extraction and cuff-based calibration (Sec. 3.2).
+
+The tonometric signal is relative; Fig. 9 shows it anchored to absolute
+mmHg by "measuring the systolic and diastolic pressure with a conventional
+hand cuff device". This package extracts the systolic/diastolic features
+from the raw waveform, builds the two-point linear calibration against the
+cuff reading, and quantifies signal quality.
+"""
+
+from .features import BeatFeatures, detect_beats
+from .twopoint import TwoPointCalibration
+from .quality import SignalQualityReport, assess_quality
+from .artifacts import ArtifactDetector, ArtifactReport, score_against_truth
+from .drift import DriftEstimate, DriftMonitor, RecalibrationPolicy
+from .morphology import MorphologyReport, analyze_morphology, ensemble_average_beat
+
+__all__ = [
+    "ArtifactDetector",
+    "ArtifactReport",
+    "BeatFeatures",
+    "DriftEstimate",
+    "DriftMonitor",
+    "MorphologyReport",
+    "RecalibrationPolicy",
+    "SignalQualityReport",
+    "TwoPointCalibration",
+    "analyze_morphology",
+    "assess_quality",
+    "detect_beats",
+    "ensemble_average_beat",
+    "score_against_truth",
+]

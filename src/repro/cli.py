@@ -1,0 +1,176 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    python -m repro list                  # what can be run
+    python -m repro run fig7              # one experiment, table output
+    python -m repro run all               # everything (a few minutes)
+    python -m repro describe              # print the system configuration
+
+Every experiment prints the same paper-vs-measured rows the benchmark
+suite asserts on; the CLI is the no-pytest entry point for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import experiments
+from .params import paper_defaults
+
+#: Experiment registry: CLI name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig7": (
+        "Fig. 7 — sigma-delta ADC tone test (SNR > 72 dB)",
+        lambda: experiments.run_fig7(),
+    ),
+    "fig9": (
+        "Fig. 9 — continuous BP waveform with cuff calibration",
+        lambda: experiments.run_fig9(),
+    ),
+    "specs": (
+        "Secs. 2-3 — specification table",
+        lambda: experiments.run_table_specs(),
+    ),
+    "membrane": (
+        "Sec. 2.1 — membrane transducer characterization",
+        lambda: experiments.run_membrane_transfer(),
+    ),
+    "mux": (
+        "Sec. 2.2 — mux settling vs converter bandwidth",
+        lambda: experiments.run_mux_settling(),
+    ),
+    "localization": (
+        "Secs. 1-2 — placement tolerance and vessel localization",
+        lambda: experiments.run_localization(),
+    ),
+    "baselines": (
+        "Sec. 1 — cuff vs tonometer vs catheter",
+        lambda: experiments.run_baseline_comparison(),
+    ),
+    "feedback": (
+        "Sec. 4 — feedback-capacitor resolution knob",
+        lambda: experiments.run_feedback_ablation(),
+    ),
+    "osr": (
+        "Sec. 4 — resolution vs conversion rate (OSR sweep)",
+        lambda: experiments.run_osr_ablation(),
+    ),
+    "dynamic-range": (
+        "Fig. 7 companion — SNR vs input amplitude",
+        lambda: experiments.run_dynamic_range(),
+    ),
+    "noise-budget": (
+        "analog noise budget behind the 72 dB",
+        lambda: experiments.run_noise_budget(),
+    ),
+    "architectures": (
+        "Sec. 4 — higher-order / multi-bit modulator routes",
+        lambda: experiments.run_architecture_comparison(),
+    ),
+    "robustness": (
+        "Sec. 4 — artifacts, thermal drift, hold-down servo",
+        lambda: experiments.run_robustness(),
+    ),
+    "design-space": (
+        "(order x OSR) ENOB grid and Pareto front",
+        lambda: experiments.run_design_space(),
+    ),
+    "pressure-linearity": (
+        "transducer linearity vs converter noise",
+        lambda: experiments.run_pressure_linearity(),
+    ),
+    "population": (
+        "Fig. 9 protocol over a virtual population (AAMI stats)",
+        lambda: experiments.run_population(),
+    ),
+}
+
+
+def _print_rows(title: str, rows: list[tuple[str, str, str]]) -> None:
+    width_q = max(len(r[0]) for r in rows)
+    width_p = max(len(r[1]) for r in rows)
+    print()
+    print(title)
+    print("-" * min(width_q + width_p + 20, 100))
+    for quantity, paper, measured in rows:
+        print(f"  {quantity:<{width_q}}  {paper:<{width_p}}  {measured}")
+
+
+def cmd_list() -> int:
+    print("available experiments:")
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name:<15} {description}")
+    print("  all             run everything")
+    return 0
+
+
+def cmd_run(names: list[str]) -> int:
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"running {name}: {description} ...", flush=True)
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        _print_rows(f"{name} ({elapsed:.1f} s)", result.rows())
+        print()
+    return 0
+
+
+def cmd_describe() -> int:
+    from .core.chain import ReadoutChain
+    from .core.power import PowerModel
+
+    params = paper_defaults()
+    chain = ReadoutChain(params)
+    print(chain.chip.describe())
+    print(f"  power           : {PowerModel(params.chip).report().describe()}")
+    print(
+        f"  decimation      : sinc^{params.decimation.cic_order}"
+        f"(R={params.decimation.cic_decimation}) + "
+        f"{params.decimation.fir_taps}-tap FIR"
+        f"(R={params.decimation.fir_decimation}), "
+        f"{params.decimation.output_bits} bit out"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Kirstein et al., 'A CMOS-Based Tactile Sensor "
+            "for Continuous Blood Pressure Monitoring' (DATE 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "names", nargs="+", help="experiment names, or 'all'"
+    )
+    sub.add_parser("describe", help="print the paper-default configuration")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names)
+    if args.command == "describe":
+        return cmd_describe()
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

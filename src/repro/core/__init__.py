@@ -1,0 +1,31 @@
+"""The paper's system, assembled: chip, readout chain, monitor, power.
+
+This is the public top level most users want:
+
+* :class:`~repro.core.chip.SensorChip` — array + multiplexer + capacitive
+  front end + sigma-delta modulator (everything on the die of Fig. 5).
+* :class:`~repro.core.chain.ReadoutChain` — chip plus the FPGA decimation
+  filter and USB link: pressures in, 12-bit words out.
+* :class:`~repro.core.monitor.BloodPressureMonitor` — the application:
+  scan, select, record, calibrate against a cuff, report beats.
+* :class:`~repro.core.power.PowerModel` — the 11.5 mW budget and its
+  scaling.
+"""
+
+from .chip import SensorChip
+from .chain import ChainRecording, ReadoutChain
+from .monitor import BloodPressureMonitor, MonitorResult
+from .power import PowerModel, PowerReport
+from .autozero import AutoZeroController, AutoZeroState
+
+__all__ = [
+    "AutoZeroController",
+    "AutoZeroState",
+    "BloodPressureMonitor",
+    "ChainRecording",
+    "MonitorResult",
+    "PowerModel",
+    "PowerReport",
+    "ReadoutChain",
+    "SensorChip",
+]

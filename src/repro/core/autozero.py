@@ -1,0 +1,99 @@
+"""Digital auto-zero using the on-chip reference structure.
+
+The die carries "a reference structure" (Sec. 3) whose capacitor matches
+the transducers' rest capacitance but has no released membrane — it
+cannot respond to pressure. Anything it *does* read is therefore readout
+offset: front-end mismatch, comparator offset leakage, drift. The
+auto-zero controller periodically routes the multiplexer to a designated
+reference position, averages a short burst of output words, and subtracts
+that pedestal from subsequent sensor readings.
+
+In this behavioural model the reference position is emulated by holding
+the selected element at zero membrane pressure (the array's reference
+capacitor is already wired into the front end differentially; the
+auto-zero removes the *residual* mismatch pedestal that the differential
+pair leaves behind — exactly what the raw records show as per-element DC
+offsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.chain import ReadoutChain
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AutoZeroState:
+    """Measured pedestal per array element (modulator-FS units)."""
+
+    offsets_fs: np.ndarray
+    measured_at_s: float
+    burst_words: int
+
+    def correct(self, values: np.ndarray, element: int) -> np.ndarray:
+        """Subtract the element's pedestal from raw values."""
+        if not 0 <= element < self.offsets_fs.size:
+            raise ConfigurationError("element index out of range")
+        return np.asarray(values, dtype=float) - self.offsets_fs[element]
+
+
+class AutoZeroController:
+    """Measures and applies per-element offset pedestals.
+
+    Parameters
+    ----------
+    chain:
+        The readout chain to calibrate.
+    burst_words:
+        Output words averaged per element (after filter flush).
+    flush_words:
+        Words discarded after each element switch.
+    """
+
+    def __init__(
+        self,
+        chain: ReadoutChain,
+        burst_words: int = 64,
+        flush_words: int = 16,
+    ):
+        if burst_words < 4:
+            raise ConfigurationError("need >= 4 words per burst")
+        if flush_words < 0:
+            raise ConfigurationError("flush words must be >= 0")
+        self.chain = chain
+        self.burst_words = int(burst_words)
+        self.flush_words = int(flush_words)
+
+    def measure(self, time_s: float = 0.0) -> AutoZeroState:
+        """Visit every element at zero membrane pressure and record its
+        pedestal (the mismatch between its rest capacitance and the
+        reference capacitor, as seen through the full chain)."""
+        n_elements = self.chain.chip.array.n_elements
+        osr = self.chain.params.modulator.osr
+        n_mod = (self.burst_words + self.flush_words) * osr
+        quiet = np.zeros((n_mod, n_elements))
+        offsets = np.empty(n_elements)
+        for element in range(n_elements):
+            recording = self.chain.record_pressure(quiet, element=element)
+            settled = recording.values[self.flush_words :]
+            offsets[element] = float(np.mean(settled))
+        return AutoZeroState(
+            offsets_fs=offsets,
+            measured_at_s=float(time_s),
+            burst_words=self.burst_words,
+        )
+
+    def expected_offsets_fs(self) -> np.ndarray:
+        """Analytic pedestal prediction from the array mismatch.
+
+        (C_rest,k - C_ref) / C_fb in modulator-FS units — what
+        :meth:`measure` should find, up to converter noise. Tests compare
+        the two.
+        """
+        chip = self.chain.chip
+        deltas = chip.array.offsets_vs_reference_f()
+        return deltas * chip.frontend.gain_per_farad

@@ -1,0 +1,266 @@
+"""The complete application: continuous blood-pressure monitoring.
+
+Implements the measurement protocol of Sec. 3.2 / Fig. 9 against a
+virtual patient:
+
+1. **Scan** — visit every array element briefly and pick the one with the
+   strongest pulsatile signal (Sec. 2's placement-tolerance mechanism).
+2. **Record** — stream the selected element continuously at 1 kS/s.
+3. **Extract** — low-pass to the cardiac band, detect beats, read the raw
+   systolic/diastolic feature levels.
+4. **Calibrate** — take one oscillometric cuff reading and anchor the raw
+   levels to mmHg with the two-point calibration.
+
+Because the patient is synthetic, the result also carries ground-truth
+errors — the numbers Fig. 9 could only show qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..array.scan import ElementSelection, ScanController
+from ..baselines.cuff import CuffReading, OscillometricCuff
+from ..calibration.artifacts import ArtifactDetector, ArtifactReport
+from ..calibration.features import BeatFeatures, detect_beats, lowpass_cardiac
+from ..calibration.quality import SignalQualityReport, assess_quality
+from ..calibration.twopoint import TwoPointCalibration
+from ..errors import ConfigurationError
+from ..physiology.patient import PatientRecording, VirtualPatient
+from ..tonometry.coupling import TonometricCoupling
+from .chain import ChainRecording, ReadoutChain
+
+
+@dataclass(frozen=True)
+class MonitorResult:
+    """Everything one monitoring session produces."""
+
+    selection: ElementSelection
+    recording: ChainRecording
+    raw_waveform: np.ndarray  # cardiac-band-filtered raw values
+    features: BeatFeatures
+    quality: SignalQualityReport
+    cuff: CuffReading
+    calibration: TwoPointCalibration
+    calibrated_mmhg: np.ndarray
+    ground_truth: PatientRecording
+    #: Artifact flags over the record (None when rejection is disabled).
+    artifact_report: ArtifactReport | None = None
+
+    # -- derived accuracy metrics -------------------------------------------
+
+    @property
+    def times_s(self) -> np.ndarray:
+        return self.recording.times_s
+
+    @property
+    def measured_systolic_mmhg(self) -> float:
+        return float(self.calibration.apply(self.features.mean_systolic_raw))
+
+    @property
+    def measured_diastolic_mmhg(self) -> float:
+        return float(self.calibration.apply(self.features.mean_diastolic_raw))
+
+    @property
+    def systolic_error_mmhg(self) -> float:
+        return self.measured_systolic_mmhg - self.ground_truth.systolic_mmhg
+
+    @property
+    def diastolic_error_mmhg(self) -> float:
+        return self.measured_diastolic_mmhg - self.ground_truth.diastolic_mmhg
+
+    def waveform_rms_error_mmhg(self) -> float:
+        """RMS error of the calibrated waveform against ground truth.
+
+        The ground-truth record is resampled onto the measurement grid and
+        both are compared after discarding the filter's settling edges.
+        """
+        t = self.times_s
+        truth = np.interp(
+            t, self.ground_truth.times_s, self.ground_truth.pressure_mmhg
+        )
+        skip = min(200, t.size // 10)
+        a = self.calibrated_mmhg[skip:-skip] if skip else self.calibrated_mmhg
+        b = truth[skip:-skip] if skip else truth
+        return float(np.sqrt(np.mean((a - b) ** 2)))
+
+    def summary(self) -> str:
+        gt = self.ground_truth
+        return "\n".join(
+            [
+                "BloodPressureMonitor result",
+                f"  selected element : ({self.selection.best_row}, "
+                f"{self.selection.best_col}), "
+                f"contrast {self.selection.contrast:.2f}",
+                f"  {self.quality.describe()}",
+                f"  cuff reading     : {self.cuff.systolic_mmhg:.1f}/"
+                f"{self.cuff.diastolic_mmhg:.1f} mmHg",
+                f"  measured         : {self.measured_systolic_mmhg:.1f}/"
+                f"{self.measured_diastolic_mmhg:.1f} mmHg",
+                f"  ground truth     : {gt.systolic_mmhg:.1f}/"
+                f"{gt.diastolic_mmhg:.1f} mmHg",
+                f"  sys/dia error    : {self.systolic_error_mmhg:+.1f}/"
+                f"{self.diastolic_error_mmhg:+.1f} mmHg",
+                f"  waveform RMS err : {self.waveform_rms_error_mmhg():.2f} mmHg",
+            ]
+        )
+
+
+class BloodPressureMonitor:
+    """Scan-select-record-calibrate measurement orchestrator.
+
+    Parameters
+    ----------
+    chain:
+        The readout chain (chip + FPGA + USB).
+    coupling:
+        Tonometric coupling mapping arterial to membrane pressures.
+    cuff:
+        The calibration reference device.
+    physiology_rate_hz:
+        Internal rate at which the patient waveform is synthesized before
+        interpolation to the modulator clock (the waveform lives below
+        25 Hz, so 2 kHz is generous).
+    artifact_rejection:
+        Run the :class:`~repro.calibration.artifacts.ArtifactDetector`
+        on every record and extract beat features only from unflagged
+        stretches. Costs a little compute; essential under motion.
+    """
+
+    def __init__(
+        self,
+        chain: ReadoutChain,
+        coupling: TonometricCoupling,
+        cuff: OscillometricCuff | None = None,
+        physiology_rate_hz: float = 2000.0,
+        artifact_rejection: bool = False,
+    ):
+        if physiology_rate_hz < 200.0:
+            raise ConfigurationError(
+                "physiology rate must be >= 200 Hz to resolve the pulse"
+            )
+        self.chain = chain
+        self.coupling = coupling
+        self.cuff = cuff or OscillometricCuff()
+        self.physiology_rate_hz = float(physiology_rate_hz)
+        self.artifact_rejection = bool(artifact_rejection)
+        self._detector = ArtifactDetector() if artifact_rejection else None
+
+    # -- pieces ------------------------------------------------------------
+
+    def _pressure_field(
+        self, recording: PatientRecording, start_s: float, stop_s: float
+    ) -> np.ndarray:
+        """Membrane-pressure field at the modulator clock for [start, stop)."""
+        fs = self.chain.params.modulator.sampling_rate_hz
+        n = int(round((stop_s - start_s) * fs))
+        t_mod = start_s + np.arange(n) / fs
+        arterial_pa = np.interp(
+            t_mod, recording.times_s, recording.pressure_pa
+        )
+        return self.coupling.element_pressures_pa(arterial_pa)
+
+    def scan(
+        self, recording: PatientRecording, dwell_s: float = 1.5
+    ) -> ElementSelection:
+        """Visit every element and select the strongest one."""
+        n_elements = self.chain.chip.array.n_elements
+        field = self._pressure_field(
+            recording, 0.0, dwell_s * n_elements
+        )
+        records = self.chain.scan_elements(field, dwell_s=dwell_s)
+        controller = ScanController(self.chain.chip.mux)
+        # Drop the filter-flush words at the start of each dwell.
+        settled = records[8:]
+        return controller.select_strongest(settled)
+
+    def measure(
+        self,
+        patient: VirtualPatient,
+        duration_s: float = 16.0,
+        scan_dwell_s: float = 1.5,
+        rng: np.random.Generator | None = None,
+    ) -> MonitorResult:
+        """Run the full protocol and return the session result."""
+        if duration_s < 5.0:
+            raise ConfigurationError(
+                "need >= 5 s of recording for stable beat features"
+            )
+        rng = rng or np.random.default_rng(77)
+        n_elements = self.chain.chip.array.n_elements
+        scan_total = scan_dwell_s * n_elements
+        total = scan_total + duration_s
+
+        truth = patient.record(
+            duration_s=total, sample_rate_hz=self.physiology_rate_hz
+        )
+
+        selection = self.scan(truth, dwell_s=scan_dwell_s)
+
+        field = self._pressure_field(truth, scan_total, total)
+        recording = self.chain.record_pressure(
+            field, element=selection.best_index
+        )
+
+        raw = lowpass_cardiac(
+            recording.values, recording.sample_rate_hz
+        )
+        artifact_report = None
+        feature_input = recording.values
+        if self._detector is not None:
+            artifact_report = self._detector.detect(
+                recording.values, recording.sample_rate_hz
+            )
+            if 0 < artifact_report.fraction_flagged < 0.6:
+                # Patch flagged spans with the clean median so beat
+                # detection keeps its time base; features from flagged
+                # beats are suppressed by the patching.
+                feature_input = recording.values.copy()
+                clean_median = float(
+                    np.median(recording.values[~artifact_report.mask])
+                )
+                feature_input[artifact_report.mask] = clean_median
+        features = detect_beats(
+            feature_input,
+            recording.sample_rate_hz,
+            expected_rate_bpm=patient.params.heart_rate_bpm,
+        )
+        quality = assess_quality(
+            recording.values,
+            recording.sample_rate_hz,
+            expected_rate_bpm=patient.params.heart_rate_bpm,
+        )
+
+        cuff_reading = self.cuff.measure(patient, rng=rng)
+        calibration = TwoPointCalibration.from_features(
+            features,
+            cuff_systolic_mmhg=cuff_reading.systolic_mmhg,
+            cuff_diastolic_mmhg=cuff_reading.diastolic_mmhg,
+        )
+        calibrated = calibration.apply(raw)
+
+        # Ground truth restricted to the measurement window, re-based to
+        # the recording clock.
+        measured_truth = PatientRecording(
+            times_s=truth.times_s[truth.times_s >= scan_total] - scan_total,
+            pressure_mmhg=truth.pressure_mmhg[truth.times_s >= scan_total],
+            schedule=truth.schedule,
+            beat_truth=truth.beat_truth[
+                truth.beat_truth[:, 0] >= scan_total
+            ],
+        )
+
+        return MonitorResult(
+            selection=selection,
+            recording=recording,
+            raw_waveform=raw,
+            features=features,
+            quality=quality,
+            cuff=cuff_reading,
+            calibration=calibration,
+            calibrated_mmhg=calibrated,
+            ground_truth=measured_truth,
+            artifact_report=artifact_report,
+        )

@@ -1,0 +1,79 @@
+"""FPGA wrapper: decimation filter bank plus frame generation.
+
+The FPGA of Fig. 3 contains the two-stage decimation filter and the USB
+interface. This wrapper runs the bit-true filter on incoming bitstream
+chunks, tags output words with the currently selected array element, and
+emits USB frames — the complete digital back end between the modulator
+pads and the host software.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..dsp.decimator import DecimationFilter
+from ..params import DecimationParams
+from .usb import FrameEncoder
+
+
+class FPGAFilterBank:
+    """Streaming FPGA model: bitstream in, framed 12-bit words out.
+
+    Parameters
+    ----------
+    params:
+        Decimation filter architecture (paper defaults).
+    input_rate_hz:
+        Modulator clock (128 kHz).
+    samples_per_frame:
+        USB frame payload size.
+    flush_words_on_switch:
+        Output words suppressed after an element switch while the filter
+        flushes (see :func:`repro.array.mux.analyze_mux_timing`).
+    """
+
+    def __init__(
+        self,
+        params: DecimationParams | None = None,
+        input_rate_hz: float = 128e3,
+        samples_per_frame: int = 64,
+        flush_words_on_switch: int = 8,
+    ):
+        if flush_words_on_switch < 0:
+            raise ConfigurationError("flush words must be >= 0")
+        self.filter = DecimationFilter(params, input_rate_hz=input_rate_hz)
+        self.encoder = FrameEncoder(samples_per_frame=samples_per_frame)
+        self.flush_words_on_switch = int(flush_words_on_switch)
+        self._element = 0
+        self._suppress = 0
+
+    @property
+    def output_rate_hz(self) -> float:
+        return self.filter.output_rate_hz
+
+    def select_element(self, element: int) -> None:
+        """Record an element switch; resets the filter and starts the
+        post-switch suppression window."""
+        if element < 0:
+            raise ConfigurationError("element must be >= 0")
+        if element != self._element:
+            self._element = int(element)
+            self.filter.reset()
+            self._suppress = self.flush_words_on_switch
+
+    def process(self, bitstream: np.ndarray) -> bytes:
+        """Filter a bitstream chunk and emit completed USB frames."""
+        result = self.filter.process(bitstream)
+        codes = result.codes
+        if self._suppress > 0:
+            drop = min(self._suppress, codes.size)
+            codes = codes[drop:]
+            self._suppress -= drop
+        if codes.size == 0:
+            return b""
+        return self.encoder.push(codes.astype(np.int16), self._element)
+
+    def finish(self) -> bytes:
+        """Flush the partial USB frame at end of acquisition."""
+        return self.encoder.flush()

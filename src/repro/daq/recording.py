@@ -1,0 +1,144 @@
+"""Session recording: persist and reload acquisition data.
+
+A monitoring device stores its sessions; reviewers reload them. Sessions
+are saved as ``.npz`` archives with a small JSON metadata header —
+self-describing, versioned, and safe to reload (`allow_pickle=False`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError, FramingError
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionRecording:
+    """One stored monitoring session.
+
+    Attributes
+    ----------
+    codes:
+        Raw decimated converter codes (int16) for the recorded element.
+    sample_rate_hz:
+        Their rate.
+    element:
+        Array element the record came from.
+    calibrated_mmhg:
+        Calibrated waveform, if a calibration was applied (else empty).
+    metadata:
+        Free-form JSON-serializable session annotations (subject id,
+        cuff reading, placement notes, ...).
+    """
+
+    codes: np.ndarray
+    sample_rate_hz: float
+    element: int
+    calibrated_mmhg: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        if self.element < 0:
+            raise ConfigurationError("element must be >= 0")
+        if (
+            self.calibrated_mmhg.size
+            and self.calibrated_mmhg.size != self.codes.size
+        ):
+            raise ConfigurationError(
+                "calibrated waveform must match the code count"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.codes.size / self.sample_rate_hz
+
+    @property
+    def times_s(self) -> np.ndarray:
+        return np.arange(self.codes.size) / self.sample_rate_hz
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the session to ``path`` (.npz)."""
+        path = Path(path)
+        header = {
+            "format_version": FORMAT_VERSION,
+            "sample_rate_hz": self.sample_rate_hz,
+            "element": self.element,
+            "metadata": self.metadata,
+        }
+        np.savez_compressed(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            codes=self.codes.astype(np.int16),
+            calibrated_mmhg=self.calibrated_mmhg.astype(np.float64),
+        )
+        # np.savez appends .npz when missing.
+        return path if path.suffix == ".npz" else path.with_suffix(
+            path.suffix + ".npz"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionRecording":
+        """Read a session back; validates the format header."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no such session file: {path}")
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                header_bytes = archive["header"].tobytes()
+                header = json.loads(header_bytes.decode("utf-8"))
+                codes = archive["codes"]
+                calibrated = archive["calibrated_mmhg"]
+            except KeyError as exc:
+                raise FramingError(
+                    f"session file {path} is missing field {exc}"
+                ) from exc
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise FramingError(
+                f"unsupported session format version {version!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        return cls(
+            codes=codes.astype(np.int16),
+            sample_rate_hz=float(header["sample_rate_hz"]),
+            element=int(header["element"]),
+            calibrated_mmhg=calibrated,
+            metadata=dict(header.get("metadata", {})),
+        )
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def from_monitor_result(cls, result, **metadata) -> "SessionRecording":
+        """Build a session from a
+        :class:`~repro.core.monitor.MonitorResult`."""
+        meta = {
+            "selected_element": result.selection.best_index,
+            "cuff_systolic_mmhg": result.cuff.systolic_mmhg,
+            "cuff_diastolic_mmhg": result.cuff.diastolic_mmhg,
+            "calibration_gain": result.calibration.gain_mmhg_per_raw,
+            "calibration_offset": result.calibration.offset_mmhg,
+            "quality_snr_db": result.quality.snr_db,
+        }
+        meta.update(metadata)
+        return cls(
+            codes=result.recording.codes.astype(np.int16),
+            sample_rate_hz=result.recording.sample_rate_hz,
+            element=result.recording.element,
+            calibrated_mmhg=np.asarray(result.calibrated_mmhg, dtype=float),
+            metadata=meta,
+        )

@@ -1,0 +1,72 @@
+"""Host-side sample stream reassembly.
+
+Collects decoded frames into per-element contiguous sample streams with
+gap accounting — what the PC software behind the paper's USB interface
+has to do before any waveform processing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .usb import Frame
+
+
+class SampleStream:
+    """Per-element reassembled sample streams.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Rate of the decimated words (1 kS/s for the paper chain), used to
+        timestamp samples.
+    """
+
+    def __init__(self, sample_rate_hz: float = 1000.0):
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._chunks: dict[int, list[np.ndarray]] = defaultdict(list)
+        self._counts: dict[int, int] = defaultdict(int)
+
+    def ingest(self, frames: list[Frame]) -> None:
+        """Append decoded frames to their element streams."""
+        for frame in frames:
+            self._chunks[frame.element].append(frame.samples)
+            self._counts[frame.element] += frame.samples.size
+
+    @property
+    def elements(self) -> list[int]:
+        return sorted(self._chunks)
+
+    def sample_count(self, element: int) -> int:
+        return self._counts.get(element, 0)
+
+    def samples(self, element: int) -> np.ndarray:
+        """Contiguous int16 record for one element."""
+        chunks = self._chunks.get(element)
+        if not chunks:
+            return np.zeros(0, dtype=np.int16)
+        return np.concatenate(chunks)
+
+    def timestamps_s(self, element: int) -> np.ndarray:
+        """Sample times assuming gap-free delivery."""
+        return np.arange(self.sample_count(element)) / self.sample_rate_hz
+
+    def as_matrix(self) -> np.ndarray:
+        """(n_samples, n_elements) matrix over the common sample count.
+
+        Streams are truncated to the shortest element record — scanned
+        acquisition delivers near-equal counts per element.
+        """
+        if not self._chunks:
+            return np.zeros((0, 0), dtype=np.int16)
+        elements = self.elements
+        n = min(self.sample_count(e) for e in elements)
+        return np.column_stack([self.samples(e)[:n] for e in elements])
+
+    def duration_s(self, element: int) -> float:
+        return self.sample_count(element) / self.sample_rate_hz

@@ -1,0 +1,145 @@
+"""Sample-clock reality: crystal error, drift, and host reconstruction.
+
+The FPGA derives the 128 kHz modulator clock (and hence the 1 kS/s output
+rate) from a crystal with tens of ppm of static error plus slow thermal
+drift. A 30 ppm error is irrelevant to the waveform but biases every
+rate-derived quantity — pulse rate most visibly — and breaks alignment
+when fusing with other sensors. The host fixes this the standard way:
+pair its own wall-clock receive times with the device's sample counter
+and regress the true sample rate.
+
+* :class:`SampleClockModel` — generates the device's actual sample
+  instants (ppm offset + linear drift + white jitter).
+* :class:`TimestampReconstructor` — least-squares rate/offset recovery
+  from (host_time, sample_index) observations, with residual diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class SampleClockModel:
+    """The device's imperfect sample clock.
+
+    Parameters
+    ----------
+    nominal_rate_hz:
+        What the label says (1 kS/s output words).
+    ppm_offset:
+        Static crystal error in parts per million.
+    ppm_drift_per_hour:
+        Linear thermal drift of the error over time.
+    jitter_rms_s:
+        White timestamp jitter per sample (crystal phase noise is far
+        smaller than transport jitter; this models USB delivery).
+    """
+
+    def __init__(
+        self,
+        nominal_rate_hz: float = 1000.0,
+        ppm_offset: float = 30.0,
+        ppm_drift_per_hour: float = 2.0,
+        jitter_rms_s: float = 0.0,
+    ):
+        if nominal_rate_hz <= 0:
+            raise ConfigurationError("nominal rate must be positive")
+        if abs(ppm_offset) > 1000:
+            raise ConfigurationError("ppm offset implausibly large")
+        if jitter_rms_s < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        self.nominal_rate_hz = float(nominal_rate_hz)
+        self.ppm_offset = float(ppm_offset)
+        self.ppm_drift_per_hour = float(ppm_drift_per_hour)
+        self.jitter_rms_s = float(jitter_rms_s)
+
+    def true_rate_hz(self, at_time_s: float = 0.0) -> float:
+        """Actual sample rate at a given elapsed time."""
+        ppm = self.ppm_offset + self.ppm_drift_per_hour * at_time_s / 3600.0
+        return self.nominal_rate_hz * (1.0 + ppm * 1e-6)
+
+    def sample_times_s(
+        self,
+        n_samples: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Wall-clock instants of the first ``n_samples`` samples."""
+        if n_samples < 1:
+            raise ConfigurationError("need at least one sample")
+        # Integrate the slowly drifting period.
+        nominal_t = np.arange(n_samples) / self.nominal_rate_hz
+        ppm = (
+            self.ppm_offset
+            + self.ppm_drift_per_hour * nominal_t / 3600.0
+        )
+        periods = 1.0 / (self.nominal_rate_hz * (1.0 + ppm * 1e-6))
+        times = np.concatenate([[0.0], np.cumsum(periods[:-1])])
+        if self.jitter_rms_s > 0:
+            rng = rng or np.random.default_rng(17)
+            times = times + self.jitter_rms_s * rng.standard_normal(n_samples)
+        return times
+
+
+@dataclass(frozen=True)
+class ClockFit:
+    """Recovered clock parameters."""
+
+    rate_hz: float
+    offset_s: float
+    residual_rms_s: float
+    n_observations: int
+
+    def ppm_vs_nominal(self, nominal_rate_hz: float) -> float:
+        """Recovered rate error relative to a nominal rate, in ppm."""
+        return (self.rate_hz / nominal_rate_hz - 1.0) * 1e6
+
+    def sample_time_s(self, sample_index: np.ndarray | int) -> np.ndarray:
+        """Reconstructed wall-clock time of device samples."""
+        return np.asarray(sample_index, dtype=float) / self.rate_hz + (
+            self.offset_s
+        )
+
+
+class TimestampReconstructor:
+    """Least-squares recovery of the device clock from observations.
+
+    Feed (host_receive_time, device_sample_index) pairs — e.g. one per
+    USB frame; :meth:`fit` regresses sample_time = index/rate + offset.
+    Host-side receive jitter averages out with enough observations.
+    """
+
+    def __init__(self):
+        self._host_times: list[float] = []
+        self._indices: list[int] = []
+
+    def observe(self, host_time_s: float, sample_index: int) -> None:
+        if self._indices and sample_index <= self._indices[-1]:
+            raise ConfigurationError("sample indices must increase")
+        self._host_times.append(float(host_time_s))
+        self._indices.append(int(sample_index))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._indices)
+
+    def fit(self) -> ClockFit:
+        """Regress rate and offset; needs >= 2 observations."""
+        if self.n_observations < 2:
+            raise ConfigurationError("need >= 2 observations to fit a clock")
+        idx = np.asarray(self._indices, dtype=float)
+        t = np.asarray(self._host_times, dtype=float)
+        # t = idx * period + offset
+        period, offset = np.polyfit(idx, t, 1)
+        if period <= 0:
+            raise ConfigurationError("non-causal observations (period <= 0)")
+        residuals = t - (idx * period + offset)
+        return ClockFit(
+            rate_hz=1.0 / period,
+            offset_s=float(offset),
+            residual_rms_s=float(np.sqrt(np.mean(residuals**2))),
+            n_observations=self.n_observations,
+        )

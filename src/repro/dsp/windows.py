@@ -1,0 +1,86 @@
+"""Spectral windows with the bookkeeping needed for honest SNR numbers.
+
+Computing SNR from a windowed periodogram requires knowing how many bins
+the windowed tone leaks into (to collect all signal power) and the window's
+noise-equivalent bandwidth (to keep noise totals unbiased). This module
+pairs each supported window with that metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import windows as _sp_windows
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A window function plus its spectral bookkeeping constants.
+
+    Attributes
+    ----------
+    name:
+        Identifier accepted by :func:`get_window`.
+    half_leakage_bins:
+        Number of bins on each side of a tone's center bin that carry
+        significant leaked signal power and must be attributed to the
+        signal (and excluded from noise).
+    """
+
+    name: str
+    values: np.ndarray
+    half_leakage_bins: int
+
+    @property
+    def coherent_gain(self) -> float:
+        """Mean of the window: amplitude scaling of a coherent tone."""
+        return float(np.mean(self.values))
+
+    @property
+    def noise_equivalent_bandwidth_bins(self) -> float:
+        """ENBW in bins: N * sum(w^2) / sum(w)^2."""
+        w = self.values
+        return float(w.size * np.sum(w**2) / np.sum(w) ** 2)
+
+    @property
+    def processing_gain_db(self) -> float:
+        """10*log10(ENBW): SNR penalty of the window vs. rectangular."""
+        return 10.0 * np.log10(self.noise_equivalent_bandwidth_bins)
+
+
+_HALF_LEAKAGE = {
+    "rectangular": 0,
+    "hann": 3,
+    "blackmanharris": 4,
+    "flattop": 5,
+}
+
+
+def get_window(name: str, n: int) -> WindowSpec:
+    """Build a supported window of length ``n``.
+
+    Supported names: ``rectangular``, ``hann``, ``blackmanharris``,
+    ``flattop``. Periodic (DFT-even) variants are used, as appropriate for
+    spectral analysis.
+    """
+    if n < 8:
+        raise ConfigurationError("window length must be >= 8")
+    key = name.lower()
+    if key == "rectangular":
+        values = np.ones(n)
+    elif key == "hann":
+        values = _sp_windows.hann(n, sym=False)
+    elif key == "blackmanharris":
+        values = _sp_windows.blackmanharris(n, sym=False)
+    elif key == "flattop":
+        values = _sp_windows.flattop(n, sym=False)
+    else:
+        raise ConfigurationError(
+            f"unknown window {name!r}; choose from {sorted(_HALF_LEAKAGE)}"
+        )
+    return WindowSpec(
+        name=key, values=values, half_leakage_bins=_HALF_LEAKAGE[key]
+    )

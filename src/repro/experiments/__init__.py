@@ -1,0 +1,79 @@
+"""Experiment harnesses: one per paper figure/table (see DESIGN.md §4).
+
+Each harness is a plain function returning a frozen result dataclass with
+a ``rows()`` method that prints the paper-vs-measured comparison. The
+benchmark suite in ``benchmarks/`` wraps these with pytest-benchmark; the
+EXPERIMENTS.md numbers come from running them at full length.
+
+| id        | harness                                   | paper artifact |
+|-----------|-------------------------------------------|----------------|
+| FIG7      | :func:`fig7_spectrum.run_fig7`            | Fig. 7 ADC spectrum, SNR > 72 dB |
+| FIG9      | :func:`fig9_waveform.run_fig9`            | Fig. 9 calibrated BP waveform |
+| TAB-SPEC  | :func:`table_specs.run_table_specs`       | Sec. 3 prose spec table |
+| FIG2/MEM  | :func:`membrane_transfer.run_membrane_transfer` | Sec. 2.1 transducer |
+| FIG4/MUX  | :func:`settling.run_mux_settling`         | Sec. 2.2 settling claim |
+| FIG1/LOC  | :func:`localization.run_localization`     | Sec. 2 placement/localization |
+| INTRO-BASE| :func:`baseline_comparison.run_baseline_comparison` | Sec. 1 motivation |
+| ABL-FB    | :func:`ablations.run_feedback_ablation`   | Sec. 4 future work |
+| ABL-OSR   | :func:`ablations.run_osr_ablation`        | Sec. 4 future work |
+| ABL-DR    | :func:`dynamic_range.run_dynamic_range`   | Fig. 7 companion: SNR vs amplitude |
+| ABL-NOISE | :func:`noise_budget.run_noise_budget`     | analog budget behind the 72 dB |
+| ABL-ARCH  | :func:`architectures.run_architecture_comparison` | Sec. 4: order / multi-bit routes |
+| ROBUST    | :func:`robustness.run_robustness`         | Sec. 4: "field tests ... reliability and stability" |
+"""
+
+from .fig7_spectrum import Fig7Result, run_fig7
+from .fig9_waveform import Fig9Result, run_fig9
+from .table_specs import SpecTable, run_table_specs
+from .membrane_transfer import MembraneTransferResult, run_membrane_transfer
+from .settling import MuxSettlingResult, run_mux_settling
+from .localization import LocalizationResult, run_localization
+from .baseline_comparison import BaselineComparisonResult, run_baseline_comparison
+from .ablations import (
+    FeedbackAblationResult,
+    OSRAblationResult,
+    run_feedback_ablation,
+    run_osr_ablation,
+)
+from .dynamic_range import DynamicRangeResult, run_dynamic_range
+from .noise_budget import NoiseBudgetResult, run_noise_budget
+from .architectures import ArchitectureResult, run_architecture_comparison
+from .robustness import RobustnessResult, run_robustness
+from .design_space import DesignSpaceResult, run_design_space
+from .pressure_linearity import PressureLinearityResult, run_pressure_linearity
+from .population import PopulationResult, run_population
+
+__all__ = [
+    "ArchitectureResult",
+    "BaselineComparisonResult",
+    "DesignSpaceResult",
+    "DynamicRangeResult",
+    "FeedbackAblationResult",
+    "Fig7Result",
+    "Fig9Result",
+    "LocalizationResult",
+    "MembraneTransferResult",
+    "MuxSettlingResult",
+    "NoiseBudgetResult",
+    "OSRAblationResult",
+    "PopulationResult",
+    "PressureLinearityResult",
+    "RobustnessResult",
+    "SpecTable",
+    "run_architecture_comparison",
+    "run_baseline_comparison",
+    "run_design_space",
+    "run_dynamic_range",
+    "run_feedback_ablation",
+    "run_fig7",
+    "run_fig9",
+    "run_localization",
+    "run_membrane_transfer",
+    "run_mux_settling",
+    "run_noise_budget",
+    "run_osr_ablation",
+    "run_population",
+    "run_pressure_linearity",
+    "run_robustness",
+    "run_table_specs",
+]

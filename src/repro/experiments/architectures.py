@@ -1,0 +1,151 @@
+"""ABL-ARCH: modulator-architecture exploration beyond the paper.
+
+The paper's outlook asks for more resolution and rate; two standard
+routes are compared against the fabricated 2nd-order single-bit loop:
+
+* **higher order** — a 3rd-order single-bit CIFB loop (+2 bit/octave of
+  OSR slope, at reduced stable input range), and
+* **multi-bit** — a 3-bit quantizer with unit-element DAC, with and
+  without data-weighted averaging, under realistic element mismatch.
+
+All are measured at the paper's operating point (OSR 128, 128 kHz) with
+an ideal analog front end, decimated by a float sinc^(order+1) so the
+modulators themselves are compared (no 12-bit ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.cic import CICDecimator
+from ..dsp.spectrum import analyze_tone, coherent_tone_frequency
+from ..params import ModulatorParams, NonidealityParams, SystemParams
+from ..sdm.higher_order import HigherOrderSDM
+from ..sdm.modulator import SecondOrderSDM
+from ..sdm.multibit import MultibitSDM
+
+
+@dataclass(frozen=True)
+class ArchitectureResult:
+    """SNR per architecture at the paper's operating point."""
+
+    labels: tuple[str, ...]
+    snr_db: np.ndarray
+    amplitudes: np.ndarray  # test amplitude used per architecture
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        return [
+            (
+                f"SNR [{label}] @ {amp:.2f} FS",
+                "(architecture ablation)",
+                f"{snr:.1f} dB",
+            )
+            for label, snr, amp in zip(
+                self.labels, self.snr_db, self.amplitudes
+            )
+        ]
+
+    def by_label(self, label: str) -> float:
+        return float(self.snr_db[self.labels.index(label)])
+
+
+def _snr_of_stream(
+    values: np.ndarray, osr: int, fs: float, tone: float, n_out: int,
+    cic_order: int, scale: float = 896.0,
+) -> float:
+    """Decimate a modulator output stream and measure its SNR.
+
+    ``scale`` must map every representable level to an exact integer;
+    896 = 128 * 7 covers the +/-1 bitstream and the 3-bit DAC grid
+    (multiples of 2/7).
+    """
+    cic = CICDecimator(order=cic_order, decimation=osr, input_bits=16)
+    scaled = np.round(values * scale).astype(np.int64)
+    out = cic.process(scaled).astype(float) / (cic.dc_gain * scale)
+    seg = out[16 : 16 + n_out]
+    return float(
+        analyze_tone(seg, fs / osr, tone_hz=tone, max_band_hz=500.0).snr_db
+    )
+
+
+def run_architecture_comparison(
+    params: SystemParams | None = None,
+    n_out: int = 2048,
+    dac_mismatch_sigma: float = 0.003,
+) -> ArchitectureResult:
+    """Measure all architectures at OSR 128."""
+    params = params or SystemParams()
+    mod_params = params.modulator
+    osr = mod_params.osr
+    fs = mod_params.sampling_rate_hz
+    out_rate = fs / osr
+    tone = coherent_tone_frequency(15.625, out_rate, n_out)
+    n_mod = (n_out + 16) * osr
+    t = np.arange(n_mod) / fs
+
+    labels: list[str] = []
+    snrs: list[float] = []
+    amps: list[float] = []
+
+    def add(label: str, snr: float, amp: float) -> None:
+        labels.append(label)
+        snrs.append(snr)
+        amps.append(amp)
+
+    # Paper loop: 2nd-order single-bit.
+    amp2 = 0.75
+    sdm2 = SecondOrderSDM(
+        ModulatorParams(osr=osr), NonidealityParams.ideal(),
+        rng=np.random.default_rng(3001),
+    )
+    bits = sdm2.simulate(amp2 * np.sin(2 * np.pi * tone * t)).bitstream
+    add(
+        "2nd order, 1 bit (paper)",
+        _snr_of_stream(bits.astype(float), osr, fs, tone, n_out, 3),
+        amp2,
+    )
+
+    # 3rd-order single-bit.
+    sdm3 = HigherOrderSDM(order=3)
+    amp3 = sdm3.recommended_max_amplitude
+    bits3 = sdm3.simulate(amp3 * np.sin(2 * np.pi * tone * t)).bitstream
+    add(
+        "3rd order, 1 bit",
+        _snr_of_stream(bits3.astype(float), osr, fs, tone, n_out, 4),
+        amp3,
+    )
+
+    # 3-bit quantizer variants.
+    for label, mismatch, selection in [
+        ("2nd order, 3 bit, ideal DAC", 0.0, "dwa"),
+        (
+            f"2nd order, 3 bit, {dac_mismatch_sigma * 100:.1f}% mismatch, fixed",
+            dac_mismatch_sigma,
+            "fixed",
+        ),
+        (
+            f"2nd order, 3 bit, {dac_mismatch_sigma * 100:.1f}% mismatch, DWA",
+            dac_mismatch_sigma,
+            "dwa",
+        ),
+    ]:
+        sdm_mb = MultibitSDM(
+            ModulatorParams(osr=osr),
+            quantizer_bits=3,
+            dac_mismatch_sigma=mismatch,
+            dac_selection=selection,
+            rng=np.random.default_rng(3002),
+        )
+        amp_mb = 0.9
+        out = sdm_mb.simulate(amp_mb * np.sin(2 * np.pi * tone * t))
+        add(
+            label,
+            _snr_of_stream(out.values, osr, fs, tone, n_out, 3),
+            amp_mb,
+        )
+
+    return ArchitectureResult(
+        labels=tuple(labels), snr_db=np.array(snrs), amplitudes=np.array(amps)
+    )

@@ -1,0 +1,225 @@
+"""INTRO-BASE: cuff vs. tonometer vs. catheter (Sec. 1's motivation).
+
+The paper motivates the sensor by the incumbents' limitations: cuffs
+deliver "single measurements at a rate of some Hertz" (actually per
+minutes once venous rest is honoured) and catheters are invasive. The
+harness subjects all three to the same event — a hypertensive transient
+(pressure ramps up mid-record and back down) — and measures how well each
+tracks the true systolic trajectory:
+
+* **cuff**: one reading per measurement cycle; between readings it can
+  only hold the last value;
+* **tonometer** (this work): continuous calibrated waveform;
+* **catheter**: continuous and accurate, but invasive (the reference).
+
+Expected shape: tonometer tracking error ~ catheter's (few mmHg), cuff
+error growing with the transient's slope — the motivation figure the
+paper sketches in words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.catheter import CatheterReference
+from ..baselines.cuff import OscillometricCuff
+from ..calibration.features import detect_beats
+from ..calibration.twopoint import TwoPointCalibration
+from ..core.chain import ReadoutChain
+from ..errors import ConfigurationError, SignalQualityError
+from ..params import PASCAL_PER_MMHG, PatientParams, SystemParams
+from ..physiology.patient import VirtualPatient
+from ..tonometry.contact import ContactModel
+from ..tonometry.coupling import TonometricCoupling
+from ..tonometry.placement import ArrayPlacement
+
+
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """Per-method tracking errors against ground truth."""
+
+    times_s: np.ndarray
+    truth_mmhg: np.ndarray  # beat-systolic trajectory, interpolated
+    tonometer_mmhg: np.ndarray
+    cuff_mmhg: np.ndarray  # sample-and-hold between readings
+    catheter_mmhg: np.ndarray
+    tonometer_rmse: float
+    cuff_rmse: float
+    catheter_rmse: float
+    cuff_readings: int
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        return [
+            (
+                "catheter RMSE [mmHg]",
+                "continuous, accurate, invasive",
+                f"{self.catheter_rmse:.2f}",
+            ),
+            (
+                "tonometer RMSE [mmHg]",
+                "continuous, non-invasive (this work)",
+                f"{self.tonometer_rmse:.2f}",
+            ),
+            (
+                "cuff RMSE [mmHg]",
+                "intermittent (misses transients)",
+                f"{self.cuff_rmse:.2f}",
+            ),
+            (
+                "cuff readings in record",
+                "~1 per minute",
+                f"{self.cuff_readings}",
+            ),
+            (
+                "tonometer beats cuff",
+                "yes (the paper's thesis)",
+                "yes" if self.tonometer_rmse < self.cuff_rmse else "no",
+            ),
+        ]
+
+
+def _transient(times: np.ndarray, duration: float, magnitude: float) -> np.ndarray:
+    """Smooth up-and-down pressure excursion centered mid-record."""
+    center = duration / 2.0
+    width = duration / 6.0
+    return magnitude * np.exp(-((times - center) ** 2) / (2.0 * width**2))
+
+
+def run_baseline_comparison(
+    params: SystemParams | None = None,
+    duration_s: float = 120.0,
+    transient_mmhg: float = 25.0,
+    rng: np.random.Generator | None = None,
+) -> BaselineComparisonResult:
+    """Run the three methods through a hypertensive transient.
+
+    The tonometer path is physics-accurate but, to keep this 2-minute
+    experiment tractable, the readout chain is run on a decimated segment
+    schedule: the full modulator simulation covers repeated 4 s windows
+    whose beat features are interpolated between windows (the signal
+    varies on a 20 s scale, so this loses nothing).
+    """
+    params = params or SystemParams()
+    if duration_s < 60.0:
+        raise ConfigurationError("need >= 60 s to fit multiple cuff cycles")
+    rng = rng or np.random.default_rng(1212)
+
+    patient_params = PatientParams()
+    patient = VirtualPatient(patient_params, rng=rng)
+    trend = lambda t: _transient(t, duration_s, transient_mmhg)  # noqa: E731
+
+    truth = patient.record(
+        duration_s=duration_s, sample_rate_hz=500.0, pressure_trend_mmhg=trend
+    )
+    # Ground-truth systolic trajectory: per-beat maxima, interpolated.
+    beat_t = truth.beat_truth[:, 0]
+    beat_sys = truth.beat_truth[:, 1]
+    grid = np.linspace(0.0, duration_s, 601)
+    truth_sys = np.interp(grid, beat_t, beat_sys)
+
+    # --- catheter: continuous, direct.
+    catheter = CatheterReference()
+    cath_wave = catheter.measure(truth.pressure_mmhg, 500.0, rng=rng)
+    cath_feats = detect_beats(cath_wave, 500.0)
+    cath_sys = np.interp(grid, cath_feats.peak_times_s, cath_feats.systolic_raw)
+
+    # --- cuff: one reading per cycle, sample-and-hold.
+    cuff = OscillometricCuff()
+    interval = cuff.measurement_interval_s()
+    reading_times = np.arange(5.0, duration_s, interval)
+    cuff_sys_readings = []
+    for t0 in reading_times:
+        # The cuff measures the *current* pressure state: re-anchor the
+        # patient's systolic target to the transient level at t0.
+        local = PatientParams(
+            systolic_mmhg=patient_params.systolic_mmhg + float(trend(np.array([t0]))[0]),
+            diastolic_mmhg=patient_params.diastolic_mmhg
+            + 0.5 * float(trend(np.array([t0]))[0]),
+            heart_rate_bpm=patient_params.heart_rate_bpm,
+        )
+        reading = cuff.measure(VirtualPatient(local, rng=rng), rng=rng)
+        cuff_sys_readings.append(reading.systolic_mmhg)
+    cuff_sys = np.interp(
+        grid,
+        reading_times,
+        cuff_sys_readings,
+        left=cuff_sys_readings[0],
+        right=cuff_sys_readings[-1],
+    )
+    # Sample-and-hold, not interpolation: the cuff cannot see between
+    # readings.
+    hold_idx = np.clip(
+        np.searchsorted(reading_times, grid, side="right") - 1,
+        0,
+        len(cuff_sys_readings) - 1,
+    )
+    cuff_sys = np.asarray(cuff_sys_readings)[hold_idx]
+
+    # --- tonometer: windowed full-chain measurements.
+    chain = ReadoutChain(params, rng=rng)
+    map_pa = (
+        patient_params.diastolic_mmhg + patient_params.pulse_pressure_mmhg / 3.0
+    ) * PASCAL_PER_MMHG
+    contact = ContactModel(
+        contact=params.contact, tissue=params.tissue,
+        mean_arterial_pressure_pa=map_pa,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        placement=ArrayPlacement(lateral_offset_m=0.3e-3),
+        rng=rng,
+    )
+    window_s = 4.0
+    window_starts = np.arange(0.0, duration_s - window_s, 8.0)
+    fs = params.modulator.sampling_rate_hz
+    tono_t, tono_sys_raw = [], []
+    first_features = None
+    for t0 in window_starts:
+        n = int(window_s * fs)
+        t_mod = t0 + np.arange(n) / fs
+        arterial_pa = np.interp(
+            t_mod, truth.times_s, truth.pressure_mmhg
+        ) * PASCAL_PER_MMHG
+        field = coupling.element_pressures_pa(arterial_pa)
+        rec = chain.record_pressure(field, element=0)
+        try:
+            feats = detect_beats(rec.values, rec.sample_rate_hz)
+        except SignalQualityError:
+            continue
+        if first_features is None:
+            first_features = feats
+        tono_t.append(t0 + window_s / 2.0)
+        tono_sys_raw.append(feats.mean_systolic_raw)
+    if len(tono_t) < 3 or first_features is None:
+        raise ConfigurationError("tonometer windows failed to detect beats")
+
+    # Calibrate the tonometer once, on the first window's features with
+    # the first cuff reading (the Fig. 9 procedure).
+    first_reading = cuff.measure(patient, rng=rng)
+    calibration = TwoPointCalibration.from_features(
+        first_features,
+        cuff_systolic_mmhg=first_reading.systolic_mmhg,
+        cuff_diastolic_mmhg=first_reading.diastolic_mmhg,
+    )
+    tono_sys = np.interp(
+        grid, np.asarray(tono_t), calibration.apply(np.asarray(tono_sys_raw))
+    )
+
+    def rmse(x: np.ndarray) -> float:
+        return float(np.sqrt(np.mean((x - truth_sys) ** 2)))
+
+    return BaselineComparisonResult(
+        times_s=grid,
+        truth_mmhg=truth_sys,
+        tonometer_mmhg=tono_sys,
+        cuff_mmhg=cuff_sys,
+        catheter_mmhg=cath_sys,
+        tonometer_rmse=rmse(tono_sys),
+        cuff_rmse=rmse(cuff_sys),
+        catheter_rmse=rmse(cath_sys),
+        cuff_readings=len(cuff_sys_readings),
+    )
+

@@ -1,0 +1,151 @@
+"""FIG1/LOC: placement tolerance and vessel localization (Secs. 1-2).
+
+Two claims from the paper's system description are quantified:
+
+1. "In order to relax the necessary accuracy of sensor placement, an
+   array of force detectors is used and the sensor element with the
+   strongest signal is selected" — measured as the retained coupling of
+   the *selected* element vs. a fixed single element over a lateral
+   placement sweep.
+2. "This can also be used for localizing blood vessels, buried in
+   tissue" — measured as the error of the amplitude-centroid position
+   estimate over the same sweep, demonstrated on the modular larger
+   array (8x8) the paper says the design extends to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mems.geometry import ArrayGeometry
+from ..params import ArrayParams, SystemParams, TissueParams
+from ..physiology.tissue import TissueTransfer
+from ..tonometry.contact import ContactModel
+from ..tonometry.coupling import TonometricCoupling
+from ..tonometry.placement import ArrayPlacement
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Placement sweep + localization accuracy."""
+
+    offsets_m: np.ndarray
+    selected_gain: np.ndarray  # best-element coupling per offset
+    fixed_gain: np.ndarray  # element-0 coupling per offset
+    centroid_error_m: np.ndarray  # 8x8 localization error per offset
+    array_shape: tuple[int, int]
+    large_array_shape: tuple[int, int]
+
+    @property
+    def selection_advantage(self) -> float:
+        """Mean coupling gain of selecting vs. staying on element 0."""
+        fixed = np.where(self.fixed_gain > 0, self.fixed_gain, np.nan)
+        return float(np.nanmean(self.selected_gain / fixed))
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        mid = self.offsets_m.size // 2
+        return [
+            (
+                "selection advantage (mean best/fixed)",
+                "> 1 (array relaxes placement)",
+                f"{self.selection_advantage:.2f}",
+            ),
+            (
+                "best-element coupling at 1 mm offset",
+                "(not quoted)",
+                f"{np.interp(1e-3, self.offsets_m, self.selected_gain):.3f}",
+            ),
+            (
+                "localization error at center [um]",
+                "(not quoted)",
+                f"{self.centroid_error_m[mid] * 1e6:.0f}",
+            ),
+            (
+                "median localization error [um]",
+                "(not quoted)",
+                f"{np.median(self.centroid_error_m) * 1e6:.0f}",
+            ),
+        ]
+
+
+def _log_parabola_peak(geometry: ArrayGeometry, weights: np.ndarray) -> float:
+    """Estimate the Gaussian-profile peak from per-element amplitudes.
+
+    Column-averages the amplitude map (the artery runs along rows), then
+    fits a parabola to ln(amplitude) vs transverse position: for a
+    Gaussian profile the fit is exact and the vertex is the artery's
+    transverse coordinate, even outside the array footprint.
+    """
+    amp = weights.reshape(geometry.rows, geometry.cols)
+    col_amp = amp.mean(axis=0)
+    centers = geometry.element_centers_m()
+    xs = np.unique(np.round(centers[:, 0], 12))
+    log_amp = np.log(np.clip(col_amp, 1e-30, None))
+    coeffs = np.polyfit(xs, log_amp, 2)
+    if coeffs[0] >= 0.0:
+        # Degenerate (flat or inverted) profile: fall back to the
+        # strongest column.
+        return float(xs[int(np.argmax(col_amp))])
+    return float(-coeffs[1] / (2.0 * coeffs[0]))
+
+
+def run_localization(
+    params: SystemParams | None = None,
+    max_offset_m: float = 2.0e-3,
+    n_offsets: int = 21,
+    large_array: tuple[int, int] = (8, 8),
+    heterogeneity: float = 0.25,
+) -> LocalizationResult:
+    """Sweep lateral placement; measure selection benefit + localization."""
+    params = params or SystemParams()
+    if max_offset_m <= 0 or n_offsets < 3:
+        raise ConfigurationError("need positive offset span, >= 3 points")
+
+    tissue = TissueTransfer(params.tissue)
+    contact = ContactModel(contact=params.contact, tissue=params.tissue)
+    geometry = ArrayGeometry(params.array)
+    offsets = np.linspace(-max_offset_m, max_offset_m, n_offsets)
+
+    base = TonometricCoupling(
+        geometry, contact, tissue=tissue, contact_heterogeneity=heterogeneity
+    )
+    selected = np.empty(n_offsets)
+    fixed = np.empty(n_offsets)
+    for i, off in enumerate(offsets):
+        moved = base.with_placement(ArrayPlacement(lateral_offset_m=float(off)))
+        gains = moved.effective_gain()
+        selected[i] = gains.max()
+        fixed[i] = gains[0]
+
+    # Localization on the extensible larger array. The coupling profile
+    # (sigma ~ 2.5 mm) is nearly flat across a 1 mm array, so a raw
+    # amplitude centroid barely moves; fitting the *log* of the Gaussian
+    # profile with a parabola recovers the peak position — including
+    # peaks outside the array footprint.
+    rows, cols = large_array
+    big_params = ArrayParams(
+        rows=rows, cols=cols, membrane=params.array.membrane
+    )
+    big_geometry = ArrayGeometry(big_params)
+    big = TonometricCoupling(
+        big_geometry, contact, tissue=tissue, contact_heterogeneity=0.05
+    )
+    centroid_error = np.empty(n_offsets)
+    for i, off in enumerate(offsets):
+        moved = big.with_placement(ArrayPlacement(lateral_offset_m=float(off)))
+        weights = moved.element_weights()
+        est_x = _log_parabola_peak(big_geometry, weights)
+        # The artery's transverse position in array coordinates is -off.
+        centroid_error[i] = abs(est_x - (-float(off)))
+
+    return LocalizationResult(
+        offsets_m=offsets,
+        selected_gain=selected,
+        fixed_gain=fixed,
+        centroid_error_m=centroid_error,
+        array_shape=(params.array.rows, params.array.cols),
+        large_array_shape=large_array,
+    )

@@ -1,0 +1,89 @@
+"""FIG2/MEM: transducer characterization (Sec. 2.1, Fig. 2).
+
+The paper specifies the membrane (100 um side, 3 um thick, capacitive
+readout) without publishing its transfer curve. This harness characterizes
+our model of it: pressure sweep -> deflection and capacitance, sensitivity,
+linearity over the physiologic range, touch-down full scale and resonance
+— the numbers a datasheet for the device would carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mems.membrane import MembraneSensor
+from ..params import MembraneParams, PASCAL_PER_MMHG
+
+
+@dataclass(frozen=True)
+class MembraneTransferResult:
+    """Transducer characterization data."""
+
+    pressures_pa: np.ndarray
+    deflections_m: np.ndarray
+    capacitances_f: np.ndarray
+    rest_capacitance_f: float
+    sensitivity_f_per_pa: float
+    max_linearity_error_fraction: float
+    full_scale_pressure_pa: float
+    resonance_hz: float
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        return [
+            ("membrane side [um]", "100", "100 (by construction)"),
+            ("membrane thickness [um]", "3", "3 (by construction)"),
+            (
+                "rest capacitance [fF]",
+                "(not quoted)",
+                f"{self.rest_capacitance_f * 1e15:.1f}",
+            ),
+            (
+                "sensitivity [aF/Pa]",
+                "(not quoted)",
+                f"{self.sensitivity_f_per_pa * 1e18:.4f}",
+            ),
+            (
+                "linearity error over +/-40 mmHg [%]",
+                "(not quoted)",
+                f"{self.max_linearity_error_fraction * 100:.4f}",
+            ),
+            (
+                "touch-down full scale [kPa]",
+                "(not quoted)",
+                f"{self.full_scale_pressure_pa / 1e3:.0f}",
+            ),
+            (
+                "resonance [MHz]",
+                "(not quoted, >> signal band)",
+                f"{self.resonance_hz / 1e6:.2f}",
+            ),
+        ]
+
+
+def run_membrane_transfer(
+    params: MembraneParams | None = None,
+    sweep_span_mmhg: float = 40.0,
+    n_points: int = 81,
+) -> MembraneTransferResult:
+    """Characterize the membrane over a +/-``sweep_span_mmhg`` sweep."""
+    if n_points < 5:
+        raise ConfigurationError("need at least 5 sweep points")
+    sensor = MembraneSensor(params)
+    span_pa = sweep_span_mmhg * PASCAL_PER_MMHG
+    pressures = np.linspace(-span_pa, span_pa, n_points)
+    deflections = sensor.deflection_m(pressures)
+    capacitances = sensor.capacitance_f(pressures)
+    linearity = np.max(np.abs(sensor.linearity_error(pressures)))
+    return MembraneTransferResult(
+        pressures_pa=pressures,
+        deflections_m=deflections,
+        capacitances_f=capacitances,
+        rest_capacitance_f=sensor.rest_capacitance_f,
+        sensitivity_f_per_pa=sensor.pressure_sensitivity_f_per_pa(0.0),
+        max_linearity_error_fraction=float(linearity),
+        full_scale_pressure_pa=sensor.full_scale_pressure_pa,
+        resonance_hz=sensor.plate.resonance_frequency_hz(),
+    )

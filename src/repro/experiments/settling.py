@@ -1,0 +1,119 @@
+"""FIG4/MUX: element-switch settling (Sec. 2.2's bandwidth claim).
+
+The paper states the settling when switching between sensor elements "is
+limited by the signal bandwidth of the sigma-delta-AD-converter" — i.e. by
+the decimation filter, not the analog switches. The harness verifies this
+two ways:
+
+1. analytically, comparing the electrical switch time constant against
+   the filter's impulse-response length;
+2. empirically, stepping the modulator input (as an element switch with a
+   different static offset does) and counting output words until the
+   output settles to within one LSB band of its final value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..array.array2d import SensorArray
+from ..array.mux import AnalogMultiplexer, MuxTimingAnalysis, analyze_mux_timing
+from ..core.chain import ReadoutChain
+from ..errors import ConfigurationError
+from ..params import SystemParams
+
+
+@dataclass(frozen=True)
+class MuxSettlingResult:
+    """Analytic budget + empirical step-settling measurement."""
+
+    timing: MuxTimingAnalysis
+    empirical_settle_words: int
+    step_size_fs: float
+    electrical_to_filter_ratio: float
+    max_scan_rate_hz: float
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        return [
+            (
+                "settling limited by",
+                "sigma-delta bandwidth (Sec. 2.2)",
+                self.timing.dominant,
+            ),
+            (
+                "electrical settling [us]",
+                "(negligible)",
+                f"{self.timing.electrical_settling_s * 1e6:.3f}",
+            ),
+            (
+                "filter flush [ms]",
+                "(sets the limit)",
+                f"{self.timing.filter_flush_s * 1e3:.2f}",
+            ),
+            (
+                "electrical/filter ratio",
+                "<< 1",
+                f"{self.electrical_to_filter_ratio:.2e}",
+            ),
+            (
+                "empirical settle [output words]",
+                "(not quoted)",
+                f"{self.empirical_settle_words}",
+            ),
+            (
+                "max full-array scan rate [Hz]",
+                "(not quoted)",
+                f"{self.max_scan_rate_hz:.0f} per element",
+            ),
+        ]
+
+
+def run_mux_settling(
+    params: SystemParams | None = None,
+    step_size_fs: float = 0.2,
+    n_words: int = 128,
+) -> MuxSettlingResult:
+    """Measure the switching budget analytically and empirically."""
+    params = params or SystemParams()
+    if not 0 < step_size_fs < 1:
+        raise ConfigurationError("step size must be in (0, 1) FS")
+
+    array = SensorArray(params.array)
+    mux = AnalogMultiplexer(array)
+    chain = ReadoutChain(params)
+    timing = analyze_mux_timing(mux, chain.fpga.filter)
+
+    # Empirical: a step at the loop input (the element-switch transient as
+    # the modulator sees it), counting words to settle within 1 LSB.
+    fs = params.modulator.sampling_rate_hz
+    osr = params.modulator.osr
+    n_mod = n_words * osr
+    u = np.full(n_mod, step_size_fs)
+    u[: n_mod // 4] = -step_size_fs  # step at the quarter mark
+    vref = params.modulator.vref_v
+    recording = chain.record_voltage(u * vref)
+    codes = recording.codes.astype(float)
+    final = float(np.median(codes[-n_words // 8 :]))
+    lsb_band = 1.0
+    step_word = n_words // 4
+    settled_at = n_words
+    for k in range(step_word, codes.size):
+        if np.all(np.abs(codes[k:] - final) <= lsb_band):
+            settled_at = k
+            break
+    empirical = settled_at - step_word
+
+    ratio = (
+        timing.electrical_settling_s / timing.filter_flush_s
+        if timing.filter_flush_s > 0
+        else float("inf")
+    )
+    return MuxSettlingResult(
+        timing=timing,
+        empirical_settle_words=int(empirical),
+        step_size_fs=step_size_fs,
+        electrical_to_filter_ratio=float(ratio),
+        max_scan_rate_hz=timing.max_scan_rate_hz,
+    )

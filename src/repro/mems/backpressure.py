@@ -1,0 +1,73 @@
+"""Backside pressure-tube actuation (paper Sec. 3.2, Fig. 8).
+
+The assembled PCB feeds a pressure tube to the back of the die; an applied
+overpressure bends the membranes upward so they "stick out and touch the
+surface of the measured object". In the model this is simply a negative
+contribution to the net membrane pressure (our sign convention: positive
+pressure deflects toward the bottom electrode), but the actuator also has
+pneumatic dynamics — the tube and back cavity form a first-order lag — and
+a protrusion calculation used by the contact model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .membrane import MembraneSensor
+
+
+class BackpressureActuator:
+    """First-order pneumatic actuation of the membrane backside.
+
+    Parameters
+    ----------
+    sensor:
+        The membrane the backpressure acts on.
+    time_constant_s:
+        Pneumatic lag of the tube + cavity. Tens of milliseconds is typical
+        for a thin tube into a sub-microliter cavity; it only matters for
+        the initial inflation transient, not the cardiac band.
+    """
+
+    def __init__(self, sensor: MembraneSensor, time_constant_s: float = 20e-3):
+        if time_constant_s <= 0:
+            raise ConfigurationError("pneumatic time constant must be positive")
+        self.sensor = sensor
+        self.time_constant_s = float(time_constant_s)
+
+    def settled_pressure_pa(
+        self,
+        commanded_pa: np.ndarray | float,
+        time_s: np.ndarray | float,
+        initial_pa: float = 0.0,
+    ) -> np.ndarray:
+        """Cavity pressure after a step to ``commanded_pa`` at t = 0."""
+        commanded = np.asarray(commanded_pa, dtype=float)
+        t = np.asarray(time_s, dtype=float)
+        decay = np.exp(-np.maximum(t, 0.0) / self.time_constant_s)
+        return commanded + (initial_pa - commanded) * decay
+
+    def protrusion_m(self, backpressure_pa: np.ndarray | float) -> np.ndarray:
+        """Outward protrusion of the membrane center for a backpressure.
+
+        Backside overpressure is a *negative* membrane pressure in our
+        convention, so the deflection comes out negative; the protrusion is
+        its magnitude (how far the membrane sticks out above the chip).
+        """
+        backpressure = np.atleast_1d(np.asarray(backpressure_pa, dtype=float))
+        if np.any(backpressure < 0.0):
+            raise ConfigurationError("backpressure must be non-negative")
+        deflection = self.sensor.deflection_m(-backpressure)
+        return -deflection
+
+    def required_backpressure_pa(self, protrusion_m: float) -> float:
+        """Backpressure needed for a target outward protrusion.
+
+        Used when setting up the contact: the membranes must protrude
+        beyond the chip surface to engage the PDMS/tissue.
+        """
+        if protrusion_m < 0.0:
+            raise ConfigurationError("protrusion must be non-negative")
+        pressure = self.sensor.plate.pressure_for_deflection_pa(-protrusion_m)
+        return float(-pressure[0])

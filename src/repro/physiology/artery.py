@@ -1,0 +1,95 @@
+"""Vessel-wall mechanics: pressure inside the artery to wall motion.
+
+Fig. 1 of the paper: "The overpressure inside that blood vessel ... causes
+a movement of the vessel wall." For the small pulsatile excursions of a
+radial artery the wall behaves linearly: radial displacement is the
+transmural pressure (inside minus outside) times a compliance, with the
+compliance itself derivable from the vessel's elastic modulus and
+geometry (thin-walled tube law), which this module also provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..params import TissueParams
+
+
+class VesselWall:
+    """Linearized radial-artery wall model.
+
+    Parameters
+    ----------
+    params:
+        Geometry and compliance; defaults are radial-artery values.
+    collapse_margin_pa:
+        Transmural pressure below which the lumen is treated as
+        collapsing: wall motion saturates instead of following the linear
+        law. Real tonometry avoids this regime (excess hold-down flattens
+        the pulse), and the contact model reproduces that roll-off.
+    """
+
+    def __init__(
+        self,
+        params: TissueParams | None = None,
+        collapse_margin_pa: float = -4000.0,
+    ):
+        self.params = params or TissueParams()
+        if collapse_margin_pa >= 0:
+            raise ConfigurationError("collapse margin must be negative")
+        self.collapse_margin_pa = float(collapse_margin_pa)
+
+    @classmethod
+    def from_tube_law(
+        cls,
+        radius_m: float,
+        wall_thickness_m: float,
+        wall_modulus_pa: float,
+        params: TissueParams | None = None,
+    ) -> "VesselWall":
+        """Derive the compliance from the thin-walled tube law.
+
+        dR/dP = R^2 / (E * t_wall): the standard Laplace-law linearization
+        for a thin-walled elastic tube.
+        """
+        if radius_m <= 0 or wall_thickness_m <= 0 or wall_modulus_pa <= 0:
+            raise ConfigurationError("tube-law arguments must be positive")
+        compliance = radius_m**2 / (wall_modulus_pa * wall_thickness_m)
+        base = params or TissueParams()
+        derived = TissueParams(
+            artery_radius_m=radius_m,
+            wall_compliance_m_per_pa=compliance,
+            artery_depth_m=base.artery_depth_m,
+            tissue_modulus_pa=base.tissue_modulus_pa,
+            surface_spread_m=base.surface_spread_m,
+        )
+        return cls(params=derived)
+
+    def wall_displacement_m(
+        self, transmural_pressure_pa: np.ndarray | float
+    ) -> np.ndarray:
+        """Radial wall displacement for a transmural pressure.
+
+        Linear for positive transmural pressure; saturating (tanh roll-
+        off) once the vessel approaches collapse.
+        """
+        p = np.atleast_1d(np.asarray(transmural_pressure_pa, dtype=float))
+        c = self.params.wall_compliance_m_per_pa
+        margin = -self.collapse_margin_pa
+        linear = c * p
+        # Below zero transmural pressure, roll off smoothly to the
+        # collapse asymptote at `collapse_margin_pa`.
+        collapsing = p < 0.0
+        rolled = c * margin * np.tanh(p / margin)
+        return np.where(collapsing, rolled, linear)
+
+    def pulsatile_gain_m_per_pa(self, operating_pressure_pa: float = 0.0) -> float:
+        """Local slope d(displacement)/dP at an operating point."""
+        step = 10.0
+        lo, hi = self.wall_displacement_m(
+            np.array(
+                [operating_pressure_pa - step, operating_pressure_pa + step]
+            )
+        )
+        return float((hi - lo) / (2.0 * step))

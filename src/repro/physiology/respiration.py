@@ -1,0 +1,82 @@
+"""Respiratory modulation and slow baseline drift.
+
+Breathing modulates arterial pressure (intrathoracic pressure coupling,
+a few mmHg peak) and the sensor's mechanical baseline (the wrist moves).
+Both are modelled here: a sinusoidal pressure modulation and an optional
+band-limited random baseline wander, the main low-frequency disturbances
+a wearable tonometer has to live with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class RespirationModel:
+    """Sinusoidal respiratory pressure modulation plus baseline wander.
+
+    Parameters
+    ----------
+    rate_bpm:
+        Breathing rate (breaths per minute).
+    depth_mmhg:
+        Peak pressure modulation amplitude.
+    wander_mmhg:
+        RMS of the band-limited random baseline wander; 0 disables.
+    wander_corner_hz:
+        Low-pass corner of the wander process.
+    """
+
+    def __init__(
+        self,
+        rate_bpm: float = 15.0,
+        depth_mmhg: float = 3.0,
+        wander_mmhg: float = 0.0,
+        wander_corner_hz: float = 0.05,
+        phase_rad: float = 0.0,
+    ):
+        if rate_bpm < 0 or depth_mmhg < 0 or wander_mmhg < 0:
+            raise ConfigurationError("respiration magnitudes must be >= 0")
+        if wander_corner_hz <= 0:
+            raise ConfigurationError("wander corner must be positive")
+        self.rate_bpm = float(rate_bpm)
+        self.depth_mmhg = float(depth_mmhg)
+        self.wander_mmhg = float(wander_mmhg)
+        self.wander_corner_hz = float(wander_corner_hz)
+        self.phase_rad = float(phase_rad)
+
+    def modulation_mmhg(
+        self,
+        times_s: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Additive pressure modulation at the given times.
+
+        The wander component needs a uniform time grid; it is synthesized
+        as a one-pole-filtered Gaussian walk scaled to the requested RMS.
+        """
+        t = np.asarray(times_s, dtype=float)
+        out = self.depth_mmhg * np.sin(
+            2.0 * np.pi * (self.rate_bpm / 60.0) * t + self.phase_rad
+        )
+        if self.wander_mmhg > 0.0:
+            if t.size < 2:
+                raise ConfigurationError("wander needs >= 2 time points")
+            dt = float(t[1] - t[0])
+            if dt <= 0 or not np.allclose(np.diff(t), dt, rtol=1e-6):
+                raise ConfigurationError(
+                    "baseline wander requires a uniform time grid"
+                )
+            rng = rng or np.random.default_rng(29)
+            alpha = np.exp(-2.0 * np.pi * self.wander_corner_hz * dt)
+            white = rng.standard_normal(t.size)
+            wander = np.empty_like(white)
+            state = 0.0
+            drive = np.sqrt(1.0 - alpha**2)
+            for i, w in enumerate(white):
+                state = alpha * state + drive * w
+                wander[i] = state
+            out = out + self.wander_mmhg * wander
+        return out

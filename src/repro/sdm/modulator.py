@@ -1,0 +1,261 @@
+"""Cycle-accurate behavioural second-order sigma-delta modulator.
+
+The complete readout loop of Fig. 6: two SC integrator stages, a single-
+bit comparator and a capacitive feedback DAC, clocked at 128 kS/s. The
+simulation advances the difference equations of :mod:`.topology` sample by
+sample, injecting physically-scaled analog noise (kT/C, flicker,
+reference noise, clock jitter) from :mod:`.nonidealities`.
+
+All loop quantities are normalized to the reference voltage; the input
+``u`` comes from :class:`~repro.sdm.frontend.CapacitiveFrontEnd` or
+:class:`~repro.sdm.frontend.VoltageFrontEnd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModulatorOverloadError
+from ..params import ModulatorParams, NonidealityParams
+from .comparator import Comparator
+from .feedback import FeedbackDAC
+from .integrator import SCIntegrator
+from .nonidealities import FlickerNoiseGenerator, integrator_noise_sigma_v
+from .topology import LoopCoefficients
+
+
+@dataclass(frozen=True)
+class ModulatorOutput:
+    """Result of a modulator run."""
+
+    bitstream: np.ndarray  # int8 array of +/-1
+    clipped_samples: int  # cycles in which an integrator hit its swing
+    states: np.ndarray | None = None  # (n, 2) trajectory when recorded
+
+    @property
+    def mean(self) -> float:
+        """Average of the bitstream = DC estimate in Vref units."""
+        return float(np.mean(self.bitstream)) if self.bitstream.size else 0.0
+
+
+class SecondOrderSDM:
+    """The paper's readout modulator, ready to stream.
+
+    Parameters
+    ----------
+    params:
+        Clocking/reference/loop-scaling parameters (paper defaults).
+    nonideality:
+        Analog imperfection budget; ``NonidealityParams.ideal()`` gives
+        the textbook loop.
+    coefficients:
+        Loop scaling override; defaults to Boser-Wooley 0.5/0.5 with the
+        first-stage feedback scaled by ``params.feedback_ratio / 0.5``.
+    dac:
+        Feedback DAC override (for the future-work Cfb ablation).
+    rng:
+        Random generator; a fixed default keeps runs reproducible.
+    """
+
+    def __init__(
+        self,
+        params: ModulatorParams | None = None,
+        nonideality: NonidealityParams | None = None,
+        coefficients: LoopCoefficients | None = None,
+        dac: FeedbackDAC | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.params = params or ModulatorParams()
+        self.nonideality = nonideality or NonidealityParams()
+        if dac is not None and coefficients is not None:
+            raise ConfigurationError(
+                "pass either coefficients or a dac (which carries its own), "
+                "not both"
+            )
+        if dac is not None:
+            self.coefficients = dac.coefficients
+            self.dac = dac
+        else:
+            base = coefficients or LoopCoefficients(
+                a1=self.params.a1,
+                a2=self.params.a2,
+                b1=self.params.feedback_ratio,
+                b2=self.params.a2,
+            )
+            self.coefficients = base
+            self.dac = FeedbackDAC(
+                coefficients=LoopCoefficients(
+                    a1=base.a1, a2=base.a2, b1=base.b1, b2=base.b2
+                ),
+                cfb_ratio=1.0,
+            )
+        self.rng = rng or np.random.default_rng(20040216)
+
+        ni = self.nonideality
+        self.comparator = Comparator(
+            offset_v=ni.comparator_offset_v / self.params.vref_v,
+            hysteresis_v=ni.comparator_hysteresis_v / self.params.vref_v,
+            rng=self.rng,
+        )
+        self.stage1 = SCIntegrator(
+            signal_gain=self.coefficients.a1,
+            feedback_gain=self.coefficients.b1,
+            opamp_gain=ni.opamp_gain,
+        )
+        self.stage2 = SCIntegrator(
+            signal_gain=self.coefficients.a2,
+            feedback_gain=self.coefficients.b2,
+            opamp_gain=ni.opamp_gain,
+        )
+        # Input-referred white noise per sample, in Vref units.
+        self._noise_sigma_u = (
+            integrator_noise_sigma_v(
+                ni.sampling_cap_f, ni.temperature_k
+            )
+            / self.params.vref_v
+        )
+        self._flicker = (
+            FlickerNoiseGenerator(
+                corner_hz=ni.flicker_corner_hz,
+                white_sigma=self._noise_sigma_u,
+                sample_rate_hz=self.params.sampling_rate_hz,
+                rng=self.rng,
+            )
+            if ni.flicker_corner_hz > 0
+            else None
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear integrators, comparator memory and flicker state."""
+        self.stage1.reset()
+        self.stage2.reset()
+        self.comparator.reset()
+        if self._flicker is not None:
+            self._flicker.reset()
+
+    @property
+    def input_full_scale(self) -> float:
+        """Largest DC input (Vref units) the loop can represent."""
+        return self.coefficients.input_full_scale
+
+    @property
+    def recommended_max_amplitude(self) -> float:
+        """Practical stable sine amplitude (~75 % of the hard full scale)."""
+        return 0.75 * self.input_full_scale
+
+    def simulate(
+        self,
+        loop_input: np.ndarray,
+        record_states: bool = False,
+        overload_policy: str = "ignore",
+    ) -> ModulatorOutput:
+        """Run the loop over a normalized input sequence.
+
+        Parameters
+        ----------
+        loop_input:
+            Input u[n] in Vref units, one entry per modulator clock.
+        record_states:
+            Store the (x1, x2) trajectory (memory-heavy on long runs).
+        overload_policy:
+            ``"ignore"`` lets the swing limiter act (clipped cycles are
+            counted); ``"raise"`` raises
+            :class:`~repro.errors.ModulatorOverloadError` on the first
+            clipped cycle.
+
+        State persists across calls: consecutive ``simulate`` calls
+        continue the same analog history, as a streaming chip would.
+        """
+        u = np.asarray(loop_input, dtype=float)
+        if u.ndim != 1:
+            raise ConfigurationError("loop input must be a 1-D sequence")
+        if overload_policy not in ("ignore", "raise"):
+            raise ConfigurationError("overload_policy must be ignore|raise")
+        n = u.size
+        if n == 0:
+            return ModulatorOutput(
+                bitstream=np.zeros(0, dtype=np.int8), clipped_samples=0
+            )
+
+        ni = self.nonideality
+        # Clock jitter: error = delta_t * du/dt, applied to the input.
+        if ni.clock_jitter_s > 0.0:
+            slope = np.empty_like(u)
+            slope[1:] = (u[1:] - u[:-1]) * self.params.sampling_rate_hz
+            slope[0] = slope[1] if n > 1 else 0.0
+            jitter = ni.clock_jitter_s * self.rng.standard_normal(n)
+            u = u + jitter * slope
+
+        # Per-sample analog noise entering the first integrator.
+        if self._noise_sigma_u > 0.0:
+            noise = self._noise_sigma_u * self.rng.standard_normal(n)
+        else:
+            noise = np.zeros(n)
+        if self._flicker is not None:
+            noise = noise + self._flicker.sample_block(n)
+        # Un-shaped DAC reference noise adds at the same node.
+        if self.dac.reference_noise_sigma > 0.0:
+            dac_noise = self.dac.reference_noise_sigma * self.rng.standard_normal(n)
+        else:
+            dac_noise = None
+        dac_gain = 1.0 + self.dac.reference_error
+
+        bits = np.empty(n, dtype=np.int8)
+        states = np.empty((n, 2)) if record_states else None
+        clipped = 0
+
+        # Local bindings for the hot loop.
+        s1, s2 = self.stage1, self.stage2
+        comp = self.comparator
+        fast_comparator = comp.is_ideal()
+        a1, b1 = s1.signal_gain * s1.gain_error, s1.feedback_gain * s1.gain_error
+        a2, b2 = s2.signal_gain * s2.gain_error, s2.feedback_gain * s2.gain_error
+        p1, p2 = s1.leak, s2.leak
+        swing = s1.swing_limit
+        x1, x2 = s1.state, s2.state
+
+        for i in range(n):
+            if fast_comparator:
+                v = 1.0 if x2 >= 0.0 else -1.0
+            else:
+                v = float(comp.decide(x2))
+            fb = v * dac_gain
+            if dac_noise is not None:
+                fb += dac_noise[i]
+            x1_new = p1 * x1 + a1 * u[i] - b1 * fb + noise[i]
+            x2_new = p2 * x2 + a2 * x1 - b2 * fb
+            if x1_new > swing or x1_new < -swing or x2_new > swing or x2_new < -swing:
+                clipped += 1
+                if overload_policy == "raise":
+                    raise ModulatorOverloadError(i, (x1_new, x2_new))
+                x1_new = min(max(x1_new, -swing), swing)
+                x2_new = min(max(x2_new, -swing), swing)
+            x1, x2 = x1_new, x2_new
+            bits[i] = 1 if v > 0 else -1
+            if states is not None:
+                states[i, 0] = x1
+                states[i, 1] = x2
+
+        s1.state, s2.state = x1, x2
+        return ModulatorOutput(
+            bitstream=bits, clipped_samples=clipped, states=states
+        )
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        c = self.coefficients
+        return "\n".join(
+            [
+                "SecondOrderSDM",
+                f"  fs              : {self.params.sampling_rate_hz / 1e3:.0f} kS/s",
+                f"  OSR / out rate  : {self.params.osr} / "
+                f"{self.params.output_rate_hz:.0f} S/s",
+                f"  coefficients    : a1={c.a1} a2={c.a2} b1={c.b1} b2={c.b2}",
+                f"  input full scale: {self.input_full_scale:.3f} Vref",
+                f"  noise sigma     : {self._noise_sigma_u * 1e6:.2f} uVref/sample",
+            ]
+        )

@@ -1,0 +1,23 @@
+"""Sensor-tissue coupling: the tonometric measurement physics.
+
+How the arterial pulse reaches the membranes: the chip (with its PDMS
+contact layer, Sec. 2.1) is held against the wrist; the hold-down pressure
+sets the applanation state of the artery (contact model); each array
+element sits at some transverse offset from the vessel (placement model);
+the product of those factors gives the per-element pulsatile pressure on
+the membranes (coupling model).
+"""
+
+from .contact import ContactModel, ContactState
+from .placement import ArrayPlacement
+from .coupling import TonometricCoupling
+from .servo import HoldDownServo, ServoResult
+
+__all__ = [
+    "ArrayPlacement",
+    "ContactModel",
+    "ContactState",
+    "HoldDownServo",
+    "ServoResult",
+    "TonometricCoupling",
+]

@@ -1,0 +1,77 @@
+"""Sensor array construction, mismatch, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.array.array2d import SensorArray
+from repro.errors import ConfigurationError
+from repro.params import ArrayParams
+
+
+@pytest.fixture(scope="module")
+def array() -> SensorArray:
+    return SensorArray()
+
+
+class TestConstruction:
+    def test_paper_default_is_2x2(self, array):
+        assert len(array) == 4
+        assert array.params.rows == array.params.cols == 2
+
+    def test_elements_have_grid_coords(self, array):
+        coords = {(e.row, e.col) for e in array}
+        assert coords == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_mismatch_reproducible(self):
+        a = SensorArray(rng=np.random.default_rng(10))
+        b = SensorArray(rng=np.random.default_rng(10))
+        assert a.rest_capacitances_f() == pytest.approx(
+            b.rest_capacitances_f()
+        )
+
+    def test_mismatch_spread_matches_sigma(self):
+        params = ArrayParams(rows=8, cols=8, capacitance_mismatch_sigma=0.01)
+        big = SensorArray(params, rng=np.random.default_rng(4))
+        rest = big.rest_capacitances_f()
+        rel_spread = rest.std() / rest.mean()
+        assert rel_spread == pytest.approx(0.01, rel=0.5)
+
+    def test_zero_mismatch(self):
+        params = ArrayParams(capacitance_mismatch_sigma=0.0)
+        arr = SensorArray(params)
+        rest = arr.rest_capacitances_f()
+        assert rest.std() == pytest.approx(0.0, abs=1e-25)
+        assert arr.reference_cap_f == pytest.approx(rest[0])
+
+
+class TestReference:
+    def test_reference_near_rest(self, array):
+        rest = array.rest_capacitances_f().mean()
+        assert array.reference_cap_f == pytest.approx(rest, rel=0.02)
+
+    def test_offsets_vs_reference_small(self, array):
+        offs = array.offsets_vs_reference_f()
+        assert np.max(np.abs(offs)) < 0.02 * array.reference_cap_f
+
+
+class TestEvaluation:
+    def test_single_instant(self, array):
+        caps = array.capacitances_f(np.zeros(4))
+        assert caps.shape == (4,)
+        assert caps == pytest.approx(array.rest_capacitances_f())
+
+    def test_time_series(self, array):
+        pressures = np.zeros((10, 4))
+        pressures[:, 2] = np.linspace(0, 5000, 10)
+        caps = array.capacitances_f(pressures)
+        assert caps.shape == (10, 4)
+        # Only element 2 responds.
+        assert np.all(np.diff(caps[:, 2]) > 0)
+        assert np.allclose(caps[:, 0], caps[0, 0])
+
+    def test_wrong_width_rejected(self, array):
+        with pytest.raises(ConfigurationError, match="last axis"):
+            array.capacitances_f(np.zeros((10, 3)))
+
+    def test_describe(self, array):
+        assert "2x2" in array.describe()

@@ -1,0 +1,90 @@
+"""Analog multiplexer and settling budget."""
+
+import numpy as np
+import pytest
+
+from repro.array.array2d import SensorArray
+from repro.array.mux import AnalogMultiplexer, analyze_mux_timing
+from repro.dsp.decimator import DecimationFilter
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def mux() -> AnalogMultiplexer:
+    return AnalogMultiplexer(SensorArray())
+
+
+class TestSelection:
+    def test_default_element_zero(self, mux):
+        assert mux.selected == 0
+
+    def test_select_rowcol(self, mux):
+        mux.select(1, 0)
+        assert mux.selected == 2
+        assert mux.selected_rowcol == (1, 0)
+
+    def test_select_index(self, mux):
+        mux.select_index(3)
+        assert mux.selected_rowcol == (1, 1)
+
+    def test_out_of_range(self, mux):
+        with pytest.raises(ConfigurationError):
+            mux.select_index(4)
+        with pytest.raises(ConfigurationError):
+            mux.select(2, 0)
+
+
+class TestRouting:
+    def test_routes_selected_column(self, mux):
+        pressures = np.zeros((5, 4))
+        pressures[:, 2] = 1000.0
+        mux.select_index(2)
+        routed = mux.routed_capacitance_f(pressures)
+        # After the switch glitch (first sample), steady value is the
+        # element-2 capacitance under 1000 Pa.
+        expected = mux.array.elements[2].capacitance_f(1000.0)[0]
+        assert routed[1:] == pytest.approx(expected)
+
+    def test_charge_injection_glitch_on_switch(self, mux):
+        pressures = np.zeros((5, 4))
+        mux.select_index(1)
+        routed = mux.routed_capacitance_f(pressures)
+        assert routed[0] > routed[1]  # one-sample glitch
+        # Second call without switching: no glitch.
+        routed2 = mux.routed_capacitance_f(pressures)
+        assert routed2[0] == pytest.approx(routed2[1])
+
+    def test_no_glitch_when_reselecting_same(self, mux):
+        pressures = np.zeros((3, 4))
+        mux.routed_capacitance_f(pressures)  # clear initial state
+        mux.select_index(0)  # same element: no switch
+        routed = mux.routed_capacitance_f(pressures)
+        assert routed[0] == pytest.approx(routed[1])
+
+    def test_shape_validation(self, mux):
+        with pytest.raises(ConfigurationError):
+            mux.routed_capacitance_f(np.zeros(4))
+
+
+class TestTiming:
+    def test_electrical_constant_nanoseconds(self, mux):
+        # 2 kOhm * ~174 fF ~ 0.35 ns
+        assert mux.electrical_time_constant_s < 1e-8
+
+    def test_filter_dominates(self, mux):
+        timing = analyze_mux_timing(mux, DecimationFilter())
+        assert timing.dominant == "filter"
+        assert timing.electrical_settling_s < 1e-6
+        assert timing.filter_flush_s > 1e-3
+
+    def test_discarded_words_positive(self, mux):
+        timing = analyze_mux_timing(mux, DecimationFilter())
+        assert 1 <= timing.output_words_discarded <= 32
+
+    def test_scan_rate_finite(self, mux):
+        timing = analyze_mux_timing(mux, DecimationFilter())
+        assert 10.0 < timing.max_scan_rate_hz < 1000.0
+
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(ConfigurationError):
+            AnalogMultiplexer(SensorArray(), switch_resistance_ohm=0.0)

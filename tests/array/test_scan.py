@@ -1,0 +1,99 @@
+"""Scan controller: strongest-element selection, localization."""
+
+import numpy as np
+import pytest
+
+from repro.array.array2d import SensorArray
+from repro.array.mux import AnalogMultiplexer
+from repro.array.scan import ScanController
+from repro.errors import ConfigurationError, SignalQualityError
+
+
+@pytest.fixture()
+def controller() -> ScanController:
+    return ScanController(AnalogMultiplexer(SensorArray()))
+
+
+def synth_signals(amplitudes, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 100.0
+    pulse = np.sin(2 * np.pi * 1.2 * t)
+    sig = np.outer(pulse, np.asarray(amplitudes))
+    return sig + 1e-6 * rng.standard_normal(sig.shape)
+
+
+class TestSelection:
+    def test_picks_strongest(self, controller):
+        selection = controller.select_strongest(
+            synth_signals([0.2, 1.0, 0.4, 0.6])
+        )
+        assert selection.best_index == 1
+        assert (selection.best_row, selection.best_col) == (0, 1)
+
+    def test_mux_follows_selection(self, controller):
+        controller.select_strongest(synth_signals([0.2, 0.3, 0.9, 0.1]))
+        assert controller.mux.selected == 2
+
+    def test_amplitude_map_shape(self, controller):
+        selection = controller.select_strongest(
+            synth_signals([1, 2, 3, 4])
+        )
+        assert selection.amplitude_map.shape == (2, 2)
+        assert selection.amplitude_map[1, 1] == selection.amplitude_map.max()
+
+    def test_contrast(self, controller):
+        selection = controller.select_strongest(
+            synth_signals([1.0, 1.0, 1.0, 2.0])
+        )
+        assert selection.contrast == pytest.approx(2.0, rel=0.05)
+
+    def test_std_metric(self, controller):
+        selection = controller.select_strongest(
+            synth_signals([0.1, 0.9, 0.2, 0.3]), metric="std"
+        )
+        assert selection.best_index == 1
+
+    def test_unknown_metric(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.select_strongest(synth_signals([1, 1, 1, 1]), metric="mad")
+
+    def test_flat_signals_raise(self, controller):
+        with pytest.raises(SignalQualityError):
+            controller.select_strongest(np.zeros((100, 4)))
+
+    def test_shape_validation(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.select_strongest(np.zeros((100, 3)))
+        with pytest.raises(ConfigurationError):
+            controller.select_strongest(np.zeros((1, 4)))
+
+    def test_describe(self, controller):
+        selection = controller.select_strongest(synth_signals([1, 2, 3, 4]))
+        assert "selected element" in selection.describe()
+
+
+class TestLocalization:
+    def test_centroid_weighted_toward_strong(self, controller):
+        # Elements 1 and 3 are the +x column.
+        xy = controller.localize_source(synth_signals([0.1, 1.0, 0.1, 1.0]))
+        assert xy[0] > 0
+        assert xy[1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_uniform_signal_centers(self, controller):
+        xy = controller.localize_source(synth_signals([1, 1, 1, 1]))
+        assert xy == pytest.approx((0.0, 0.0), abs=1e-5)
+
+    def test_flat_raises(self, controller):
+        with pytest.raises(SignalQualityError):
+            controller.localize_source(np.zeros((50, 4)))
+
+
+class TestConfig:
+    def test_scan_order_row_major(self, controller):
+        assert controller.scan_order() == [0, 1, 2, 3]
+
+    def test_rejects_bad_dwell(self):
+        with pytest.raises(ConfigurationError):
+            ScanController(
+                AnalogMultiplexer(SensorArray()), dwell_samples=1
+            )

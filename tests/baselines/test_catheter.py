@@ -1,0 +1,83 @@
+"""Invasive catheter reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.catheter import CatheterReference
+from repro.errors import ConfigurationError
+from repro.physiology.patient import VirtualPatient
+
+
+@pytest.fixture(scope="module")
+def truth():
+    patient = VirtualPatient(rng=np.random.default_rng(41))
+    return patient.record(duration_s=10.0, sample_rate_hz=500.0)
+
+
+class TestTracking:
+    def test_tracks_waveform(self, truth):
+        cath = CatheterReference(noise_mmhg=0.0)
+        out = cath.measure(truth.pressure_mmhg, 500.0)
+        # After initial settling, RMS error small.
+        err = out[1000:] - truth.pressure_mmhg[1000:]
+        assert np.sqrt(np.mean(err**2)) < 2.0
+
+    def test_mean_preserved(self, truth):
+        cath = CatheterReference()
+        out = cath.measure(
+            truth.pressure_mmhg, 500.0, rng=np.random.default_rng(42)
+        )
+        assert out[1000:].mean() == pytest.approx(
+            truth.pressure_mmhg[1000:].mean(), abs=0.5
+        )
+
+    def test_noise_added(self, truth):
+        quiet = CatheterReference(noise_mmhg=0.0)
+        noisy = CatheterReference(noise_mmhg=1.0)
+        a = quiet.measure(truth.pressure_mmhg, 500.0)
+        b = noisy.measure(
+            truth.pressure_mmhg, 500.0, rng=np.random.default_rng(43)
+        )
+        assert np.std(b - a) == pytest.approx(1.0, rel=0.15)
+
+
+class TestLineDynamics:
+    def test_underdamped_overshoot(self):
+        cath = CatheterReference(damping_ratio=0.3, noise_mmhg=0.0)
+        # Step response: overshoot matches the analytic value.
+        step = np.concatenate([np.zeros(200), np.ones(2000)])
+        out = cath.measure(step, 1000.0)
+        overshoot = out.max() - 1.0
+        assert overshoot == pytest.approx(
+            cath.step_overshoot_fraction(), abs=0.05
+        )
+
+    def test_critically_damped_no_overshoot(self):
+        cath = CatheterReference(damping_ratio=1.2, noise_mmhg=0.0)
+        assert cath.step_overshoot_fraction() == 0.0
+        step = np.concatenate([np.zeros(200), np.ones(2000)])
+        out = cath.measure(step, 1000.0)
+        assert out.max() < 1.02
+
+    def test_resonance_rings_at_natural_frequency(self):
+        cath = CatheterReference(
+            natural_frequency_hz=15.0, damping_ratio=0.2, noise_mmhg=0.0
+        )
+        step = np.concatenate([np.zeros(100), np.ones(4000)])
+        out = cath.measure(step, 1000.0)
+        ringing = out[100:1100] - 1.0
+        spectrum = np.abs(np.fft.rfft(ringing))
+        freqs = np.fft.rfftfreq(1000, 1e-3)
+        peak = freqs[np.argmax(spectrum[3:]) + 3]
+        assert peak == pytest.approx(15.0, abs=2.0)
+
+
+class TestValidation:
+    def test_rejects_low_sample_rate(self, truth):
+        cath = CatheterReference(natural_frequency_hz=15.0)
+        with pytest.raises(ConfigurationError):
+            cath.measure(truth.pressure_mmhg, 50.0)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ConfigurationError):
+            CatheterReference(damping_ratio=0.0)

@@ -1,0 +1,100 @@
+"""Oscillometric cuff simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuff import OscillometricCuff
+from repro.errors import ConfigurationError
+from repro.params import PatientParams
+from repro.physiology.patient import VirtualPatient
+
+
+@pytest.fixture(scope="module")
+def reading():
+    cuff = OscillometricCuff()
+    patient = VirtualPatient(rng=np.random.default_rng(31))
+    return cuff.measure(patient, rng=np.random.default_rng(32))
+
+
+class TestAccuracy:
+    def test_systolic_within_clinical_tolerance(self, reading):
+        assert reading.systolic_mmhg == pytest.approx(120.0, abs=8.0)
+
+    def test_diastolic_within_clinical_tolerance(self, reading):
+        assert reading.diastolic_mmhg == pytest.approx(80.0, abs=8.0)
+
+    def test_map_between(self, reading):
+        assert (
+            reading.diastolic_mmhg
+            < reading.map_mmhg
+            < reading.systolic_mmhg
+        )
+
+    def test_hypertensive_patient(self):
+        cuff = OscillometricCuff()
+        patient = VirtualPatient(
+            PatientParams(systolic_mmhg=160.0, diastolic_mmhg=100.0),
+            rng=np.random.default_rng(33),
+        )
+        r = cuff.measure(patient, rng=np.random.default_rng(34))
+        assert r.systolic_mmhg == pytest.approx(160.0, abs=12.0)
+        assert r.diastolic_mmhg == pytest.approx(100.0, abs=12.0)
+
+
+class TestTiming:
+    def test_measurement_takes_tens_of_seconds(self, reading):
+        assert 20.0 < reading.measurement_duration_s < 120.0
+
+    def test_interval_includes_rest(self):
+        cuff = OscillometricCuff()
+        assert cuff.measurement_interval_s() > cuff.measurement_interval_s(
+            rest_s=0.0
+        )
+
+    def test_faster_deflation_quicker(self):
+        patient = VirtualPatient(rng=np.random.default_rng(35))
+        slow = OscillometricCuff(deflation_rate_mmhg_per_s=2.0).measure(
+            patient, rng=np.random.default_rng(36)
+        )
+        patient2 = VirtualPatient(rng=np.random.default_rng(35))
+        fast = OscillometricCuff(deflation_rate_mmhg_per_s=5.0).measure(
+            patient2, rng=np.random.default_rng(36)
+        )
+        assert fast.measurement_duration_s < slow.measurement_duration_s
+
+
+class TestEnvelope:
+    def test_envelope_plateau_spans_map(self, reading):
+        """The volume-swing envelope is high wherever the compliance
+        bell fits inside [dia, sys]; the true MAP must lie in that
+        high-envelope region."""
+        high = reading.envelope_mmhg >= 0.9 * reading.envelope_mmhg.max()
+        plateau_pressures = reading.cuff_pressure_mmhg[high]
+        truth_map = 80.0 + 40.0 / 3.0
+        assert plateau_pressures.min() - 3.0 <= truth_map
+        assert truth_map <= plateau_pressures.max() + 3.0
+
+    def test_map_by_formula(self, reading):
+        expected = reading.diastolic_mmhg + (
+            reading.systolic_mmhg - reading.diastolic_mmhg
+        ) / 3.0
+        assert reading.map_mmhg == pytest.approx(expected)
+
+    def test_traces_same_length(self, reading):
+        assert (
+            reading.cuff_pressure_mmhg.size
+            == reading.envelope_mmhg.size
+            == reading.times_s.size
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_deflation(self):
+        with pytest.raises(ConfigurationError):
+            OscillometricCuff(deflation_rate_mmhg_per_s=0.0)
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            OscillometricCuff(width_above_map_mmhg=0.0)
+        with pytest.raises(ConfigurationError):
+            OscillometricCuff(width_below_map_mmhg=-1.0)

@@ -1,0 +1,65 @@
+"""Ideal Nyquist ADC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ideal_adc import IdealADC
+from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
+from repro.errors import ConfigurationError
+
+
+class TestQuantization:
+    def test_lsb(self):
+        adc = IdealADC(bits=12, full_scale=1.0)
+        assert adc.lsb == pytest.approx(1.0 / 2048)
+
+    def test_codes_bounded(self):
+        adc = IdealADC(bits=8)
+        codes = adc.convert(np.linspace(-2, 2, 100))
+        assert codes.max() <= 127
+        assert codes.min() >= -128
+
+    def test_round_trip_error_half_lsb(self):
+        adc = IdealADC(bits=10)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-0.9, 0.9, 1000)
+        err = adc.convert_to_values(x) - x
+        assert np.max(np.abs(err)) <= adc.lsb / 2 + 1e-12
+
+    def test_noise_injection(self):
+        adc = IdealADC(bits=16, noise_sigma=0.01)
+        x = np.zeros(2000)
+        out = adc.convert_to_values(x, rng=np.random.default_rng(4))
+        assert np.std(out) == pytest.approx(0.01, rel=0.15)
+
+
+class TestSNR:
+    def test_textbook_formula(self):
+        adc = IdealADC(bits=12)
+        assert adc.ideal_snr_db() == pytest.approx(74.0, abs=0.1)
+        assert adc.ideal_snr_db(0.5) == pytest.approx(67.98, abs=0.1)
+
+    def test_measured_snr_matches_formula(self):
+        adc = IdealADC(bits=10)
+        n = 4096
+        fs = 1000.0
+        tone = coherent_tone_frequency(37.0, fs, n)
+        t = np.arange(n) / fs
+        x = 0.9 * np.sin(2 * np.pi * tone * t)
+        vals = adc.convert_to_values(x)
+        a = analyze_tone(vals, fs, tone_hz=tone)
+        assert a.sndr_db == pytest.approx(adc.ideal_snr_db(0.9), abs=2.5)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            IdealADC().ideal_snr_db(1.5)
+
+
+class TestValidation:
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            IdealADC(bits=1)
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            IdealADC(full_scale=0.0)

@@ -1,0 +1,105 @@
+"""Artifact detection and rejection."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.artifacts import (
+    ArtifactDetector,
+    score_against_truth,
+)
+from repro.errors import ConfigurationError
+from repro.physiology.artifacts import MotionArtifactGenerator
+from repro.physiology.patient import VirtualPatient
+
+FS = 250.0
+
+
+@pytest.fixture(scope="module")
+def clean():
+    patient = VirtualPatient(rng=np.random.default_rng(61))
+    return patient.record(duration_s=30.0, sample_rate_hz=FS).pressure_mmhg
+
+
+@pytest.fixture(scope="module")
+def contaminated(clean):
+    artifacts = MotionArtifactGenerator(
+        tap_rate_per_min=10.0, flexion_rate_per_min=4.0
+    ).generate(30.0, FS, rng=np.random.default_rng(62))
+    return clean + artifacts.pressure_mmhg, artifacts
+
+
+class TestDetection:
+    def test_clean_record_not_flagged(self, clean):
+        report = ArtifactDetector().detect(clean, FS)
+        assert report.fraction_flagged < 0.02
+
+    def test_all_events_overlapped(self, contaminated):
+        signal, artifacts = contaminated
+        report = ArtifactDetector().detect(signal, FS)
+        t = artifacts.times_s
+        for event in artifacts.events:
+            window = (t >= event.start_s) & (
+                t <= event.start_s + event.duration_s
+            )
+            assert report.mask[window].any(), event
+
+    def test_sample_level_scores(self, contaminated):
+        signal, artifacts = contaminated
+        report = ArtifactDetector().detect(signal, FS)
+        sens, spec = score_against_truth(
+            report, artifacts.contaminated_mask()
+        )
+        # Sample-level overlap is guard-band sensitive; event-level
+        # coverage (previous test) is the hard requirement.
+        assert sens > 0.55
+        assert spec > 0.7
+
+    def test_clean_method_removes_flagged(self, contaminated):
+        signal, _ = contaminated
+        report = ArtifactDetector().detect(signal, FS)
+        cleaned = report.clean(signal)
+        assert cleaned.size == signal.size - report.mask.sum()
+
+    def test_segments_counted(self, contaminated):
+        signal, artifacts = contaminated
+        report = ArtifactDetector().detect(signal, FS)
+        assert 1 <= report.n_segments <= len(artifacts.events) + 4
+
+
+class TestDetectorPieces:
+    def test_isolated_tap_flagged(self, clean):
+        signal = clean.copy()
+        t = np.arange(signal.size) / FS
+        signal += 40.0 * np.exp(-((t - 15.0) ** 2) / (2 * 0.02**2))
+        report = ArtifactDetector().detect(signal, FS)
+        idx = int(15.0 * FS)
+        assert report.mask[idx - 25 : idx + 25].any()
+
+    def test_isolated_flexion_flagged(self, clean):
+        signal = clean.copy()
+        t = np.arange(signal.size) / FS
+        signal += 25.0 * np.exp(-((t - 15.0) ** 2) / (2 * 1.0**2))
+        report = ArtifactDetector().detect(signal, FS)
+        idx = int(15.0 * FS)
+        assert report.mask[idx - 100 : idx + 100].any()
+
+    def test_respiration_not_flagged(self, clean):
+        """Physiologic baseline modulation must not trip the detector
+        (it is already part of the clean patient record)."""
+        report = ArtifactDetector().detect(clean, FS)
+        assert report.fraction_flagged < 0.02
+
+
+class TestValidation:
+    def test_rejects_short_record(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactDetector().detect(np.zeros(10), FS)
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactDetector(slew_factor=0.0)
+
+    def test_score_shape_mismatch(self, clean):
+        report = ArtifactDetector().detect(clean, FS)
+        with pytest.raises(ConfigurationError):
+            score_against_truth(report, np.zeros(10, dtype=bool))

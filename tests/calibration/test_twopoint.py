@@ -1,0 +1,70 @@
+"""Two-point cuff calibration."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.features import BeatFeatures
+from repro.calibration.twopoint import TwoPointCalibration
+from repro.errors import CalibrationError, ConfigurationError
+
+
+def make_features(sys_raw=0.05, dia_raw=0.01, n=5):
+    t = np.arange(n, dtype=float)
+    return BeatFeatures(
+        peak_times_s=t + 0.3,
+        systolic_raw=np.full(n, sys_raw),
+        foot_times_s=t,
+        diastolic_raw=np.full(n, dia_raw),
+    )
+
+
+class TestFit:
+    def test_anchors_exact(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        assert cal.apply(0.05) == pytest.approx(120.0)
+        assert cal.apply(0.01) == pytest.approx(80.0)
+
+    def test_linear_between(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        assert cal.apply(0.03) == pytest.approx(100.0)
+
+    def test_gain_sign(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        assert cal.gain_mmhg_per_raw > 0
+
+    def test_invert_round_trip(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        raw = np.linspace(0.0, 0.08, 9)
+        assert cal.invert(cal.apply(raw)) == pytest.approx(raw)
+
+    def test_rejects_coincident_levels(self):
+        with pytest.raises(CalibrationError, match="coincide"):
+            TwoPointCalibration.from_features(
+                make_features(sys_raw=0.02, dia_raw=0.02), 120.0, 80.0
+            )
+
+    def test_rejects_inverted_cuff(self):
+        with pytest.raises(ConfigurationError):
+            TwoPointCalibration.from_features(make_features(), 80.0, 120.0)
+
+
+class TestErrorPropagation:
+    def test_cuff_bias_propagates(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        biased = cal.error_from_cuff_bias(5.0, 0.0)
+        # Systolic anchor shifted: value at the systolic raw level moves
+        # by exactly the bias.
+        assert biased.apply(0.05) - cal.apply(0.05) == pytest.approx(5.0)
+        assert biased.apply(0.01) - cal.apply(0.01) == pytest.approx(0.0)
+
+    def test_uniform_bias_shifts_offset(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        biased = cal.error_from_cuff_bias(3.0, 3.0)
+        raw = np.linspace(0.0, 0.08, 5)
+        assert biased.apply(raw) - cal.apply(raw) == pytest.approx(
+            3.0 * np.ones(5)
+        )
+
+    def test_describe(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        assert "mmHg" in cal.describe()

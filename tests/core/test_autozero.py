@@ -1,0 +1,63 @@
+"""Auto-zero offset calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.autozero import AutoZeroController, AutoZeroState
+from repro.core.chain import ReadoutChain
+from repro.errors import ConfigurationError
+from repro.params import ArrayParams, SystemParams
+
+
+@pytest.fixture(scope="module")
+def chain() -> ReadoutChain:
+    params = SystemParams(
+        array=ArrayParams(capacitance_mismatch_sigma=0.005)
+    )
+    return ReadoutChain(params, rng=np.random.default_rng(90))
+
+
+@pytest.fixture(scope="module")
+def state(chain) -> AutoZeroState:
+    return AutoZeroController(chain, burst_words=48).measure()
+
+
+class TestMeasurement:
+    def test_offsets_match_analytic(self, chain, state):
+        expected = AutoZeroController(chain).expected_offsets_fs()
+        assert state.offsets_fs == pytest.approx(expected, abs=2e-3)
+
+    def test_offsets_nonzero_with_mismatch(self, state):
+        assert np.max(np.abs(state.offsets_fs)) > 1e-3
+
+    def test_one_offset_per_element(self, chain, state):
+        assert state.offsets_fs.size == chain.chip.array.n_elements
+
+
+class TestCorrection:
+    def test_correct_removes_pedestal(self, chain, state):
+        """A corrected quiet record reads ~0."""
+        osr = chain.params.modulator.osr
+        quiet = np.zeros((64 * osr, chain.chip.array.n_elements))
+        rec = chain.record_pressure(quiet, element=1)
+        corrected = state.correct(rec.values[16:], element=1)
+        assert abs(float(np.mean(corrected))) < 1.5e-3
+
+    def test_correct_preserves_signal(self, state):
+        raw = np.array([0.1, 0.2])
+        corrected = state.correct(raw, element=0)
+        assert np.diff(corrected)[0] == pytest.approx(0.1)
+
+    def test_correct_validates_element(self, state):
+        with pytest.raises(ConfigurationError):
+            state.correct(np.zeros(3), element=99)
+
+
+class TestValidation:
+    def test_rejects_small_burst(self, chain):
+        with pytest.raises(ConfigurationError):
+            AutoZeroController(chain, burst_words=2)
+
+    def test_rejects_negative_flush(self, chain):
+        with pytest.raises(ConfigurationError):
+            AutoZeroController(chain, flush_words=-1)

@@ -1,0 +1,83 @@
+"""Readout chain: chip -> FPGA -> USB -> host."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def chain() -> ReadoutChain:
+    return ReadoutChain(rng=np.random.default_rng(60))
+
+
+class TestVoltageRecording:
+    def test_rates_and_sizes(self, chain):
+        n_out = 32
+        v = np.zeros(n_out * 128)
+        rec = chain.record_voltage(v)
+        assert rec.sample_rate_hz == pytest.approx(1000.0)
+        assert rec.codes.size == n_out
+        assert rec.duration_s == pytest.approx(n_out / 1000.0)
+
+    def test_no_frame_loss(self, chain):
+        rec = chain.record_voltage(np.zeros(128 * 100))
+        assert rec.lost_frames == 0
+        assert rec.crc_errors == 0
+
+    def test_dc_level_recovered(self, chain):
+        v = np.full(128 * 64, 0.5 * 2.5)
+        rec = chain.record_voltage(v)
+        assert rec.values[16:].mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_2d(self, chain):
+        with pytest.raises(ConfigurationError):
+            chain.record_voltage(np.zeros((100, 2)))
+
+
+class TestPressureRecording:
+    def test_element_selection(self, chain):
+        field = np.zeros((128 * 32, 4))
+        rec = chain.record_pressure(field, element=2)
+        assert rec.element == 2
+        assert chain.chip.selected_element == 2
+
+    def test_pressure_raises_codes(self, chain):
+        n = 128 * 64
+        quiet = chain.record_pressure(np.zeros((n, 4)), element=0)
+        chain.fpga.filter.reset()
+        chain.chip.modulator.reset()
+        pressed = chain.record_pressure(
+            np.full((n, 4), 20000.0), element=0
+        )
+        expected = 20000.0 * chain.chip.pressure_to_loop_gain()
+        shift = pressed.values[16:].mean() - quiet.values[16:].mean()
+        assert shift == pytest.approx(expected, abs=0.3 * expected)
+
+
+class TestScan:
+    def test_scan_shape(self, chain):
+        n_mod = int(0.25 * 128e3) * 4
+        field = np.zeros((n_mod, 4))
+        records = chain.scan_elements(field, dwell_s=0.25)
+        assert records.shape[1] == 4
+        assert records.shape[0] >= 240  # 250 words minus flush
+
+    def test_scan_detects_pulsing_element(self, chain):
+        """Pulsatile load on element 1: its record shows the largest
+        peak-to-peak swing (DC pedestals differ per element and are
+        irrelevant to selection)."""
+        n_per = int(0.25 * 128e3)
+        n = n_per * 4
+        t = np.arange(n) / 128e3
+        field = np.zeros((n, 4))
+        field[:, 1] = 10000.0 * (1 + np.sin(2 * np.pi * 5.0 * t)) / 2
+        records = chain.scan_elements(field, dwell_s=0.25)
+        settled = records[16:]
+        swings = settled.max(axis=0) - settled.min(axis=0)
+        assert np.argmax(swings) == 1
+
+    def test_scan_too_short_rejected(self, chain):
+        with pytest.raises(ConfigurationError, match="too short"):
+            chain.scan_elements(np.zeros((100, 4)), dwell_s=1.0)

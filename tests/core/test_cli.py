@@ -1,0 +1,42 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "robustness" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "SensorChip" in out
+        assert "power" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "membrane"]) == 0
+        out = capsys.readouterr().out
+        assert "rest capacitance" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_registry_complete(self):
+        """Every experiment id in DESIGN.md's index is runnable."""
+        expected = {
+            "fig7", "fig9", "specs", "membrane", "mux", "localization",
+            "baselines", "feedback", "osr", "dynamic-range",
+            "noise-budget", "architectures", "robustness",
+            "design-space", "pressure-linearity", "population",
+        }
+        assert expected == set(EXPERIMENTS)

@@ -1,0 +1,99 @@
+"""End-to-end monitoring sessions (the Fig. 9 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.core.monitor import BloodPressureMonitor
+from repro.errors import ConfigurationError
+from repro.params import PASCAL_PER_MMHG, SystemParams
+from repro.physiology.patient import VirtualPatient
+from repro.tonometry.contact import ContactModel
+from repro.tonometry.coupling import TonometricCoupling
+from repro.tonometry.placement import ArrayPlacement
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One shared short session (modulator simulation is the cost)."""
+    params = SystemParams()
+    rng = np.random.default_rng(70)
+    chain = ReadoutChain(params, rng=rng)
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=params.tissue,
+        mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        placement=ArrayPlacement(lateral_offset_m=0.4e-3),
+        rng=rng,
+    )
+    monitor = BloodPressureMonitor(chain, coupling)
+    patient = VirtualPatient(rng=rng)
+    return monitor.measure(patient, duration_s=8.0, scan_dwell_s=0.75, rng=rng)
+
+
+class TestAccuracy:
+    def test_systolic_error_few_mmhg(self, result):
+        assert abs(result.systolic_error_mmhg) < 6.0
+
+    def test_diastolic_error_few_mmhg(self, result):
+        assert abs(result.diastolic_error_mmhg) < 6.0
+
+    def test_waveform_rms_error(self, result):
+        assert result.waveform_rms_error_mmhg() < 5.0
+
+    def test_quality_acceptable(self, result):
+        assert result.quality.acceptable
+
+    def test_beats_detected(self, result):
+        assert result.features.n_beats >= 6
+
+    def test_pulse_rate(self, result):
+        assert result.features.pulse_rate_bpm() == pytest.approx(70.0, abs=5.0)
+
+
+class TestProtocol:
+    def test_selection_has_contrast(self, result):
+        assert result.selection.contrast >= 1.0
+
+    def test_recording_rate(self, result):
+        assert result.recording.sample_rate_hz == pytest.approx(1000.0)
+
+    def test_calibration_anchored_to_cuff(self, result):
+        assert result.measured_systolic_mmhg == pytest.approx(
+            result.cuff.systolic_mmhg, abs=0.2
+        )
+
+    def test_calibrated_waveform_in_physiologic_range(self, result):
+        mid = result.calibrated_mmhg[500:-500]
+        assert mid.min() > 40.0
+        assert mid.max() < 180.0
+
+    def test_summary(self, result):
+        text = result.summary()
+        assert "measured" in text
+        assert "mmHg" in text
+
+
+class TestValidation:
+    def test_short_duration_rejected(self):
+        params = SystemParams()
+        chain = ReadoutChain(params)
+        coupling = TonometricCoupling(
+            chain.chip.array.geometry, ContactModel()
+        )
+        monitor = BloodPressureMonitor(chain, coupling)
+        with pytest.raises(ConfigurationError):
+            monitor.measure(VirtualPatient(), duration_s=2.0)
+
+    def test_bad_physiology_rate_rejected(self):
+        params = SystemParams()
+        chain = ReadoutChain(params)
+        coupling = TonometricCoupling(
+            chain.chip.array.geometry, ContactModel()
+        )
+        with pytest.raises(ConfigurationError):
+            BloodPressureMonitor(chain, coupling, physiology_rate_hz=50.0)

@@ -1,0 +1,60 @@
+"""Monitor with artifact rejection enabled."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.core.monitor import BloodPressureMonitor
+from repro.params import PASCAL_PER_MMHG, SystemParams
+from repro.physiology.patient import VirtualPatient
+from repro.tonometry.contact import ContactModel
+from repro.tonometry.coupling import TonometricCoupling
+
+
+def build_monitor(artifact_rejection: bool, seed: int = 70):
+    params = SystemParams()
+    rng = np.random.default_rng(seed)
+    chain = ReadoutChain(params, rng=rng)
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=params.tissue,
+        mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry, contact, rng=rng
+    )
+    return BloodPressureMonitor(
+        chain, coupling, artifact_rejection=artifact_rejection
+    )
+
+
+class TestArtifactRejectionMode:
+    @pytest.fixture(scope="class")
+    def result(self):
+        monitor = build_monitor(True)
+        patient = VirtualPatient(rng=np.random.default_rng(71))
+        return monitor.measure(
+            patient, duration_s=7.0, scan_dwell_s=0.5,
+            rng=np.random.default_rng(72),
+        )
+
+    def test_report_present(self, result):
+        assert result.artifact_report is not None
+
+    def test_clean_record_barely_flagged(self, result):
+        """With no motion injected, the detector should flag almost
+        nothing — the false-positive budget of the defaults."""
+        assert result.artifact_report.fraction_flagged < 0.1
+
+    def test_accuracy_unaffected_on_clean_records(self, result):
+        assert abs(result.systolic_error_mmhg) < 6.0
+        assert abs(result.diastolic_error_mmhg) < 6.0
+
+    def test_disabled_mode_has_no_report(self):
+        monitor = build_monitor(False)
+        patient = VirtualPatient(rng=np.random.default_rng(73))
+        result = monitor.measure(
+            patient, duration_s=6.0, scan_dwell_s=0.5,
+            rng=np.random.default_rng(74),
+        )
+        assert result.artifact_report is None

@@ -1,0 +1,121 @@
+"""Session recording persistence."""
+
+import numpy as np
+import pytest
+
+from repro.daq.recording import SessionRecording
+from repro.errors import ConfigurationError, FramingError
+
+
+@pytest.fixture()
+def session() -> SessionRecording:
+    rng = np.random.default_rng(44)
+    codes = rng.integers(-2048, 2047, 500).astype(np.int16)
+    return SessionRecording(
+        codes=codes,
+        sample_rate_hz=1000.0,
+        element=2,
+        calibrated_mmhg=80.0 + 40.0 * rng.random(500),
+        metadata={"subject": "virtual-01", "note": "test session"},
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, session, tmp_path):
+        path = session.save(tmp_path / "session.npz")
+        loaded = SessionRecording.load(path)
+        assert np.array_equal(loaded.codes, session.codes)
+        assert loaded.sample_rate_hz == session.sample_rate_hz
+        assert loaded.element == session.element
+        assert loaded.calibrated_mmhg == pytest.approx(
+            session.calibrated_mmhg
+        )
+        assert loaded.metadata == session.metadata
+
+    def test_suffix_appended(self, session, tmp_path):
+        path = session.save(tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_empty_calibration_survives(self, tmp_path):
+        raw_only = SessionRecording(
+            codes=np.zeros(10, dtype=np.int16),
+            sample_rate_hz=1000.0,
+            element=0,
+        )
+        loaded = SessionRecording.load(raw_only.save(tmp_path / "raw.npz"))
+        assert loaded.calibrated_mmhg.size == 0
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such"):
+            SessionRecording.load(tmp_path / "nope.npz")
+
+    def test_wrong_version_rejected(self, session, tmp_path):
+        import json
+
+        path = session.save(tmp_path / "v.npz")
+        with np.load(path) as archive:
+            codes = archive["codes"]
+            calibrated = archive["calibrated_mmhg"]
+        bad_header = json.dumps(
+            {"format_version": 99, "sample_rate_hz": 1000.0, "element": 0}
+        ).encode()
+        np.savez(
+            path,
+            header=np.frombuffer(bad_header, dtype=np.uint8),
+            codes=codes,
+            calibrated_mmhg=calibrated,
+        )
+        with pytest.raises(FramingError, match="version"):
+            SessionRecording.load(path)
+
+    def test_rejects_mismatched_waveform(self):
+        with pytest.raises(ConfigurationError):
+            SessionRecording(
+                codes=np.zeros(10, dtype=np.int16),
+                sample_rate_hz=1000.0,
+                element=0,
+                calibrated_mmhg=np.zeros(5),
+            )
+
+    def test_duration(self, session):
+        assert session.duration_s == pytest.approx(0.5)
+        assert session.times_s.size == 500
+
+
+class TestFromMonitorResult:
+    @pytest.mark.slow
+    def test_full_pipeline(self, tmp_path):
+        from repro.core.chain import ReadoutChain
+        from repro.core.monitor import BloodPressureMonitor
+        from repro.params import PASCAL_PER_MMHG, SystemParams
+        from repro.physiology.patient import VirtualPatient
+        from repro.tonometry.contact import ContactModel
+        from repro.tonometry.coupling import TonometricCoupling
+
+        params = SystemParams()
+        rng = np.random.default_rng(46)
+        chain = ReadoutChain(params, rng=rng)
+        contact = ContactModel(
+            contact=params.contact, tissue=params.tissue,
+            mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
+        )
+        coupling = TonometricCoupling(
+            chain.chip.array.geometry, contact, rng=rng
+        )
+        monitor = BloodPressureMonitor(chain, coupling)
+        result = monitor.measure(
+            VirtualPatient(rng=rng), duration_s=6.0, scan_dwell_s=0.5,
+            rng=rng,
+        )
+        session = SessionRecording.from_monitor_result(
+            result, subject="virtual-02"
+        )
+        loaded = SessionRecording.load(session.save(tmp_path / "full.npz"))
+        assert loaded.metadata["subject"] == "virtual-02"
+        assert loaded.metadata["cuff_systolic_mmhg"] == pytest.approx(
+            result.cuff.systolic_mmhg
+        )
+        assert loaded.codes.size == result.recording.codes.size

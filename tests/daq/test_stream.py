@@ -1,0 +1,64 @@
+"""Host-side stream reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.daq.stream import SampleStream
+from repro.daq.usb import FrameDecoder, FrameEncoder
+from repro.errors import ConfigurationError
+
+
+def frames_for(codes_by_element, samples_per_frame=8):
+    enc = FrameEncoder(samples_per_frame=samples_per_frame)
+    payload = b""
+    for element, codes in codes_by_element:
+        payload += enc.push(np.asarray(codes, dtype=np.int16), element)
+    payload += enc.flush()
+    return FrameDecoder().feed(payload)
+
+
+class TestReassembly:
+    def test_single_element(self):
+        stream = SampleStream()
+        stream.ingest(frames_for([(0, np.arange(20))]))
+        assert stream.sample_count(0) == 20
+        assert np.array_equal(stream.samples(0), np.arange(20))
+
+    def test_multi_element(self):
+        stream = SampleStream()
+        stream.ingest(
+            frames_for([(0, np.arange(16)), (1, np.arange(100, 116))])
+        )
+        assert stream.elements == [0, 1]
+        assert stream.samples(1)[0] == 100
+
+    def test_matrix(self):
+        stream = SampleStream()
+        stream.ingest(
+            frames_for([(0, np.arange(16)), (1, np.arange(16))])
+        )
+        m = stream.as_matrix()
+        assert m.shape == (16, 2)
+
+    def test_matrix_truncates_to_shortest(self):
+        stream = SampleStream()
+        stream.ingest(
+            frames_for([(0, np.arange(24)), (1, np.arange(16))])
+        )
+        assert stream.as_matrix().shape == (16, 2)
+
+    def test_empty(self):
+        stream = SampleStream()
+        assert stream.samples(0).size == 0
+        assert stream.as_matrix().shape == (0, 0)
+
+    def test_timestamps(self):
+        stream = SampleStream(sample_rate_hz=1000.0)
+        stream.ingest(frames_for([(0, np.arange(10))]))
+        t = stream.timestamps_s(0)
+        assert t[1] - t[0] == pytest.approx(1e-3)
+        assert stream.duration_s(0) == pytest.approx(0.01)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            SampleStream(sample_rate_hz=0.0)

@@ -1,0 +1,113 @@
+"""Sample-clock model and host-side reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.daq.timestamps import (
+    ClockFit,
+    SampleClockModel,
+    TimestampReconstructor,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClockModel:
+    def test_true_rate_offset(self):
+        clock = SampleClockModel(ppm_offset=50.0, ppm_drift_per_hour=0.0)
+        assert clock.true_rate_hz() == pytest.approx(1000.0 * (1 + 50e-6))
+
+    def test_drift_over_time(self):
+        clock = SampleClockModel(ppm_offset=0.0, ppm_drift_per_hour=10.0)
+        assert clock.true_rate_hz(3600.0) == pytest.approx(
+            1000.0 * (1 + 10e-6)
+        )
+
+    def test_sample_times_spacing(self):
+        clock = SampleClockModel(
+            ppm_offset=100.0, ppm_drift_per_hour=0.0, jitter_rms_s=0.0
+        )
+        times = clock.sample_times_s(1000)
+        mean_period = float(np.mean(np.diff(times)))
+        assert mean_period == pytest.approx(1e-3 / (1 + 100e-6), rel=1e-9)
+
+    def test_jitter_applied(self):
+        quiet = SampleClockModel(jitter_rms_s=0.0).sample_times_s(500)
+        noisy = SampleClockModel(jitter_rms_s=1e-4).sample_times_s(
+            500, rng=np.random.default_rng(1)
+        )
+        assert np.std(noisy - quiet) == pytest.approx(1e-4, rel=0.2)
+
+    def test_rejects_crazy_ppm(self):
+        with pytest.raises(ConfigurationError):
+            SampleClockModel(ppm_offset=5000.0)
+
+
+class TestReconstruction:
+    def _observe_through(self, clock, reconstructor, n=20000, every=500,
+                         host_jitter=2e-4, seed=3):
+        rng = np.random.default_rng(seed)
+        times = clock.sample_times_s(n)
+        for idx in range(0, n, every):
+            host_time = times[idx] + host_jitter * rng.standard_normal()
+            reconstructor.observe(host_time, idx)
+
+    def test_recovers_static_ppm(self):
+        clock = SampleClockModel(
+            ppm_offset=42.0, ppm_drift_per_hour=0.0
+        )
+        recon = TimestampReconstructor()
+        self._observe_through(clock, recon)
+        fit = recon.fit()
+        assert fit.ppm_vs_nominal(1000.0) == pytest.approx(42.0, abs=5.0)
+
+    def test_jitter_averages_out(self):
+        """With many observations, host jitter barely biases the rate."""
+        clock = SampleClockModel(ppm_offset=42.0, ppm_drift_per_hour=0.0)
+        recon = TimestampReconstructor()
+        self._observe_through(
+            clock, recon, n=60000, every=200, host_jitter=1e-3
+        )
+        fit = recon.fit()
+        assert fit.ppm_vs_nominal(1000.0) == pytest.approx(42.0, abs=8.0)
+
+    def test_reconstructed_times_accurate(self):
+        clock = SampleClockModel(ppm_offset=42.0, ppm_drift_per_hour=0.0)
+        recon = TimestampReconstructor()
+        self._observe_through(clock, recon, host_jitter=0.0)
+        fit = recon.fit()
+        truth = clock.sample_times_s(20000)
+        reconstructed = fit.sample_time_s(np.arange(20000))
+        assert np.max(np.abs(reconstructed - truth)) < 1e-5
+
+    def test_residuals_reflect_jitter(self):
+        clock = SampleClockModel(ppm_offset=0.0, ppm_drift_per_hour=0.0)
+        recon = TimestampReconstructor()
+        self._observe_through(clock, recon, host_jitter=5e-4, seed=7)
+        fit = recon.fit()
+        assert fit.residual_rms_s == pytest.approx(5e-4, rel=0.4)
+
+    def test_needs_two_points(self):
+        recon = TimestampReconstructor()
+        recon.observe(0.0, 0)
+        with pytest.raises(ConfigurationError):
+            recon.fit()
+
+    def test_indices_must_increase(self):
+        recon = TimestampReconstructor()
+        recon.observe(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            recon.observe(1.0, 50)
+
+    def test_pulse_rate_bias_motivation(self):
+        """The point of all this: a 100 ppm clock error biases a 70 bpm
+        pulse-rate estimate by ~0.007 bpm — negligible — but a 1 %
+        deflation-timer error in a cuff shifts systole by ~mmHg, so the
+        reconstruction keeps rate-derived quantities honest."""
+        fit = ClockFit(
+            rate_hz=1000.0 * (1 + 100e-6),
+            offset_s=0.0,
+            residual_rms_s=0.0,
+            n_observations=10,
+        )
+        measured_bpm = 70.0 * fit.rate_hz / 1000.0
+        assert measured_bpm == pytest.approx(70.0, abs=0.01)

@@ -1,0 +1,121 @@
+"""USB framing: round trip, corruption, resynchronization."""
+
+import numpy as np
+import pytest
+
+from repro.daq.usb import Frame, FrameDecoder, FrameEncoder, crc16_ccitt
+from repro.errors import ConfigurationError
+
+
+class TestCRC:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_detects_flip(self):
+        data = b"hello world"
+        assert crc16_ccitt(data) != crc16_ccitt(b"hellp world")
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        enc = FrameEncoder(samples_per_frame=16)
+        codes = np.arange(-8, 8, dtype=np.int16)
+        payload = enc.push(codes, element=2)
+        frames = FrameDecoder().feed(payload)
+        assert len(frames) == 1
+        assert frames[0].element == 2
+        assert np.array_equal(frames[0].samples, codes)
+
+    def test_partial_needs_flush(self):
+        enc = FrameEncoder(samples_per_frame=64)
+        payload = enc.push(np.arange(10, dtype=np.int16), element=0)
+        assert payload == b""
+        payload = enc.flush()
+        frames = FrameDecoder().feed(payload)
+        assert len(frames) == 1
+        assert frames[0].samples.size == 10
+
+    def test_multi_frame_sequence(self):
+        enc = FrameEncoder(samples_per_frame=8)
+        dec = FrameDecoder()
+        codes = np.arange(50, dtype=np.int16)
+        frames = dec.feed(enc.push(codes, element=1) + enc.flush())
+        assert len(frames) == 7
+        got = np.concatenate([f.samples for f in frames])
+        assert np.array_equal(got, codes)
+        assert [f.sequence for f in frames] == list(range(7))
+        assert dec.lost_frames == 0
+
+    def test_element_change_flushes(self):
+        enc = FrameEncoder(samples_per_frame=64)
+        payload = enc.push(np.arange(5, dtype=np.int16), element=0)
+        payload += enc.push(np.arange(5, dtype=np.int16), element=1)
+        payload += enc.flush()
+        frames = FrameDecoder().feed(payload)
+        assert [f.element for f in frames] == [0, 1]
+
+    def test_negative_codes_survive(self):
+        enc = FrameEncoder(samples_per_frame=4)
+        codes = np.array([-2048, -1, 0, 2047], dtype=np.int16)
+        frames = FrameDecoder().feed(enc.push(codes, element=0))
+        assert np.array_equal(frames[0].samples, codes)
+
+
+class TestByteStreamRobustness:
+    def _payload(self, n_frames=3):
+        enc = FrameEncoder(samples_per_frame=8)
+        return enc.push(np.arange(8 * n_frames, dtype=np.int16), element=0)
+
+    def test_byte_at_a_time(self):
+        payload = self._payload()
+        dec = FrameDecoder()
+        frames = []
+        for i in range(len(payload)):
+            frames += dec.feed(payload[i : i + 1])
+        assert len(frames) == 3
+
+    def test_garbage_prefix_skipped(self):
+        payload = b"\x00\xff\x13" + self._payload(1)
+        frames = FrameDecoder().feed(payload)
+        assert len(frames) == 1
+
+    def test_corrupted_frame_dropped(self):
+        payload = bytearray(self._payload(3))
+        # Corrupt a sample byte in the second frame (each frame is
+        # 6 header + 16 payload + 2 crc = 24 bytes).
+        payload[24 + 10] ^= 0xFF
+        dec = FrameDecoder()
+        frames = dec.feed(bytes(payload))
+        assert len(frames) == 2
+        assert dec.crc_errors >= 1
+
+    def test_lost_frame_counted(self):
+        payload = self._payload(3)
+        dec = FrameDecoder()
+        frames = dec.feed(payload[:24] + payload[48:])  # drop frame 1
+        assert len(frames) == 2
+        assert dec.lost_frames == 1
+
+    def test_truncated_tail_waits(self):
+        payload = self._payload(1)
+        dec = FrameDecoder()
+        assert dec.feed(payload[:-3]) == []
+        assert len(dec.feed(payload[-3:])) == 1
+
+
+class TestValidation:
+    def test_rejects_oversized_codes(self):
+        enc = FrameEncoder()
+        with pytest.raises(ConfigurationError):
+            enc.push(np.array([40000]), element=0)
+
+    def test_rejects_bad_frame_size(self):
+        with pytest.raises(ConfigurationError):
+            FrameEncoder(samples_per_frame=0)
+        with pytest.raises(ConfigurationError):
+            FrameEncoder(samples_per_frame=300)
+
+    def test_frame_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            Frame(sequence=70000, element=0, samples=np.zeros(1, dtype=np.int16))

@@ -1,0 +1,157 @@
+"""FIR design and bit-true decimating filter."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.cic import CICDecimator
+from repro.dsp.fir import FIRDecimator, design_compensation_fir
+from repro.dsp.fixed_point import QFormat
+from repro.errors import ConfigurationError
+
+FIR_RATE = 4000.0  # CIC output rate for the paper's 32/4 split
+
+
+@pytest.fixture(scope="module")
+def coeffs() -> np.ndarray:
+    cic = CICDecimator(order=3, decimation=32)
+    return design_compensation_fir(32, FIR_RATE, 500.0, cic=cic)
+
+
+class TestDesign:
+    def test_tap_count(self, coeffs):
+        assert coeffs.size == 32
+
+    def test_unity_dc_gain(self, coeffs):
+        assert coeffs.sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_passband_compensates_droop(self, coeffs):
+        """Cascade CIC x FIR flat within 0.5 dB to 300 Hz; the soft edge
+        of a 32-tap design may droop up to 2 dB by 400 Hz."""
+        cic = CICDecimator(order=3, decimation=32)
+        fir = FIRDecimator(coeffs, decimation=4)
+        f = np.linspace(10.0, 300.0, 30)
+        cascade = cic.frequency_response(f, 128e3) * fir.frequency_response(
+            f, FIR_RATE, quantized=False
+        )
+        ripple_db = 20 * np.log10(cascade)
+        assert np.max(np.abs(ripple_db)) < 0.5
+        edge = cic.frequency_response(np.array([400.0]), 128e3) * (
+            fir.frequency_response(np.array([400.0]), FIR_RATE, quantized=False)
+        )
+        assert abs(20 * np.log10(edge[0])) < 2.0
+
+    def test_uncompensated_cascade_droops_more(self, coeffs):
+        """Without droop compensation the cascade sags visibly by 400 Hz
+        — the reason the second stage compensates at all."""
+        cic = CICDecimator(order=3, decimation=32)
+        plain = design_compensation_fir(32, FIR_RATE, 500.0, cic=None)
+        fir_plain = FIRDecimator(plain, decimation=4)
+        fir_comp = FIRDecimator(coeffs, decimation=4)
+        f = np.array([400.0])
+        mag_plain = cic.frequency_response(f, 128e3) * (
+            fir_plain.frequency_response(f, FIR_RATE, quantized=False)
+        )
+        mag_comp = cic.frequency_response(f, 128e3) * (
+            fir_comp.frequency_response(f, FIR_RATE, quantized=False)
+        )
+        assert mag_comp[0] > mag_plain[0]
+
+    def test_stopband_attenuation(self, coeffs):
+        """>= 28 dB above 700 Hz (what 32 hamming taps can deliver)."""
+        fir = FIRDecimator(coeffs, decimation=4)
+        f = np.linspace(700.0, 1900.0, 60)
+        mag = fir.frequency_response(f, FIR_RATE, quantized=False)
+        assert 20 * np.log10(mag.max()) < -28.0
+
+    def test_symmetric_linear_phase(self, coeffs):
+        assert coeffs == pytest.approx(coeffs[::-1], abs=1e-12)
+
+    def test_without_cic_flat_passband(self):
+        flat = design_compensation_fir(32, FIR_RATE, 500.0, cic=None)
+        fir = FIRDecimator(flat, decimation=4)
+        f = np.linspace(10.0, 350.0, 30)
+        mag = fir.frequency_response(f, FIR_RATE, quantized=False)
+        assert np.max(np.abs(20 * np.log10(mag))) < 0.5
+
+    def test_rejects_cutoff_beyond_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            design_compensation_fir(32, FIR_RATE, 2100.0)
+
+    def test_rejects_too_few_taps(self):
+        with pytest.raises(ConfigurationError):
+            design_compensation_fir(4, FIR_RATE, 500.0)
+
+
+class TestBitTrueFiltering:
+    def test_matches_float_convolution(self, coeffs):
+        rng = np.random.default_rng(21)
+        x = rng.integers(-(2**14), 2**14, 512)
+        fir = FIRDecimator(coeffs, decimation=1)
+        out = fir.process(x)
+        # Float reference with zero-padded history and quantized coeffs.
+        qc = fir.quantized_coefficients
+        padded = np.concatenate([np.zeros(31), x.astype(float)])
+        expected = np.convolve(padded, qc)[31 : 31 + x.size]
+        got = out.astype(float) * fir.coeff_format.scale
+        assert got == pytest.approx(expected, rel=1e-12, abs=1e-6)
+
+    def test_decimation_keeps_every_mth(self, coeffs):
+        rng = np.random.default_rng(22)
+        x = rng.integers(-1000, 1000, 256)
+        full = FIRDecimator(coeffs, decimation=1)
+        deci = FIRDecimator(coeffs, decimation=4)
+        assert np.array_equal(deci.process(x), full.process(x)[::4])
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 100])
+    def test_streaming_equals_monolithic(self, coeffs, chunk):
+        rng = np.random.default_rng(23)
+        x = rng.integers(-(2**14), 2**14, 400)
+        whole = FIRDecimator(coeffs, decimation=4)
+        expected = whole.process(x)
+        stream = FIRDecimator(coeffs, decimation=4)
+        pieces = [
+            stream.process(x[i : i + chunk]) for i in range(0, x.size, chunk)
+        ]
+        assert np.array_equal(np.concatenate(pieces), expected)
+
+    def test_reset(self, coeffs):
+        x = np.arange(100, dtype=np.int64)
+        fir = FIRDecimator(coeffs, decimation=4)
+        a = fir.process(x)
+        fir.reset()
+        b = fir.process(x)
+        assert np.array_equal(a, b)
+
+    def test_rejects_float_input(self, coeffs):
+        fir = FIRDecimator(coeffs)
+        with pytest.raises(ConfigurationError):
+            fir.process(np.ones(10))
+
+    def test_empty_input(self, coeffs):
+        fir = FIRDecimator(coeffs)
+        assert fir.process(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_accumulator_bound(self, coeffs):
+        """Worst-case MAC fits comfortably in int64."""
+        fir = FIRDecimator(coeffs, decimation=4)
+        worst = np.sum(np.abs(fir.coefficients_int)) * (2**17)
+        assert worst < 2**62
+
+
+class TestCoefficientQuantization:
+    def test_quantization_error_bounded(self, coeffs):
+        fir = FIRDecimator(coeffs)
+        err = np.abs(fir.quantized_coefficients - coeffs)
+        assert err.max() <= fir.coeff_format.scale / 2 + 1e-15
+
+    def test_rejects_oversized_coefficients(self):
+        big = np.array([3.0, 0.1, 0.1, 0.1])
+        with pytest.raises(ConfigurationError, match="magnitude"):
+            FIRDecimator(big, coeff_format=QFormat(int_bits=1, frac_bits=14))
+
+    def test_quantized_response_close_to_ideal(self, coeffs):
+        fir = FIRDecimator(coeffs)
+        f = np.linspace(10.0, 450.0, 20)
+        ideal = fir.frequency_response(f, FIR_RATE, quantized=False)
+        quant = fir.frequency_response(f, FIR_RATE, quantized=True)
+        assert np.max(np.abs(ideal - quant)) < 1e-3

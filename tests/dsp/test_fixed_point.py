@@ -1,0 +1,139 @@
+"""Fixed-point arithmetic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fixed_point import (
+    QFormat,
+    check_overflow,
+    cic_register_width,
+    required_bits_for_magnitude,
+    saturate,
+    wrap_twos_complement,
+)
+from repro.errors import ConfigurationError, FixedPointOverflowError
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        x = np.array([-128, -1, 0, 1, 127])
+        assert np.array_equal(wrap_twos_complement(x, 8), x)
+
+    def test_wraps_past_top(self):
+        assert wrap_twos_complement(np.array([128]), 8)[0] == -128
+        assert wrap_twos_complement(np.array([129]), 8)[0] == -127
+
+    def test_wraps_past_bottom(self):
+        assert wrap_twos_complement(np.array([-129]), 8)[0] == 127
+
+    def test_periodicity(self):
+        x = np.arange(-10, 10)
+        assert np.array_equal(
+            wrap_twos_complement(x + 256, 8), wrap_twos_complement(x, 8)
+        )
+
+    def test_wrap_commutes_with_addition(self):
+        """wrap(a+b) == wrap(wrap(a)+b): the property the CIC relies on."""
+        rng = np.random.default_rng(3)
+        a = rng.integers(-10**9, 10**9, 100)
+        b = rng.integers(-10**9, 10**9, 100)
+        bits = 16
+        assert np.array_equal(
+            wrap_twos_complement(a + b, bits),
+            wrap_twos_complement(wrap_twos_complement(a, bits) + b, bits),
+        )
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            wrap_twos_complement(np.array([0]), 0)
+
+
+class TestSaturate:
+    def test_clamps_both_sides(self):
+        x = np.array([-1000, -128, 0, 127, 1000])
+        out = saturate(x, 8)
+        assert out.tolist() == [-128, -128, 0, 127, 127]
+
+    def test_identity_in_range(self):
+        x = np.array([-5, 0, 5])
+        assert np.array_equal(saturate(x, 8), x)
+
+
+class TestCheckOverflow:
+    def test_passes_in_range(self):
+        x = np.array([-128, 127])
+        assert np.array_equal(check_overflow(x, 8), x)
+
+    def test_raises_out_of_range(self):
+        with pytest.raises(FixedPointOverflowError):
+            check_overflow(np.array([128]), 8)
+
+    def test_empty_array_ok(self):
+        check_overflow(np.zeros(0, dtype=np.int64), 8)
+
+
+class TestQFormat:
+    def test_scale(self):
+        q = QFormat(int_bits=1, frac_bits=14)
+        assert q.scale == pytest.approx(2.0**-14)
+        assert q.total_bits == 16
+
+    def test_round_trip_exact_values(self):
+        q = QFormat(int_bits=3, frac_bits=4)
+        values = np.array([0.0, 0.25, -1.5, 3.0625])
+        assert np.array_equal(q.quantize(values), values)
+
+    def test_rounding(self):
+        q = QFormat(int_bits=3, frac_bits=0)
+        assert q.quantize(np.array([1.4]))[0] == pytest.approx(1.0)
+        assert q.quantize(np.array([1.6]))[0] == pytest.approx(2.0)
+
+    def test_saturation_policy(self):
+        q = QFormat(int_bits=1, frac_bits=2)  # range [-2, 1.75]
+        assert q.quantize(np.array([5.0]))[0] == pytest.approx(q.max_value)
+        assert q.quantize(np.array([-5.0]))[0] == pytest.approx(q.min_value)
+
+    def test_raise_policy(self):
+        q = QFormat(int_bits=1, frac_bits=2)
+        with pytest.raises(FixedPointOverflowError):
+            q.quantize_to_int(np.array([5.0]), overflow="raise")
+
+    def test_unknown_policy(self):
+        q = QFormat(int_bits=1, frac_bits=2)
+        with pytest.raises(ConfigurationError):
+            q.quantize_to_int(np.array([0.0]), overflow="bogus")
+
+    def test_quantization_noise_power(self):
+        q = QFormat(int_bits=0, frac_bits=11)
+        assert q.quantization_noise_power() == pytest.approx(
+            (2.0**-11) ** 2 / 12.0
+        )
+
+    def test_max_error_half_lsb(self):
+        q = QFormat(int_bits=2, frac_bits=6)
+        rng = np.random.default_rng(9)
+        x = rng.uniform(-3.9, 3.9, 1000)
+        err = np.abs(q.quantize(x) - x)
+        assert err.max() <= q.scale / 2.0 + 1e-15
+
+
+class TestWidths:
+    def test_required_bits(self):
+        assert required_bits_for_magnitude(0) == 1
+        assert required_bits_for_magnitude(1) == 2
+        assert required_bits_for_magnitude(127) == 8
+        assert required_bits_for_magnitude(128) == 9
+
+    def test_cic_register_width_paper_config(self):
+        # order 3, R 32, 2-bit input: 3*5 + 2 = 17 bits.
+        assert cic_register_width(2, 3, 32) == 17
+
+    def test_cic_register_width_full_osr(self):
+        # order 3, R 128: 3*7 + 2 = 23.
+        assert cic_register_width(2, 3, 128) == 23
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            cic_register_width(0, 3, 32)
+        with pytest.raises(ConfigurationError):
+            required_bits_for_magnitude(-1)

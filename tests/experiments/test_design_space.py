@@ -1,0 +1,58 @@
+"""Design-space experiment at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_design_space
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_design_space(
+        orders=(1, 2, 3), osrs=np.array([32, 64, 128]), n_out=1024
+    )
+
+
+class TestGrid:
+    def test_shape(self, result):
+        assert result.enob.shape == (3, 3)
+        assert np.all(np.isfinite(result.enob))
+
+    def test_monotone_in_osr(self, result):
+        for i in range(3):
+            assert np.all(np.diff(result.enob[i]) > 0)
+
+    def test_monotone_in_order(self, result):
+        for j in range(3):
+            assert np.all(np.diff(result.enob[:, j]) > 0)
+
+    def test_rates(self, result):
+        assert result.conversion_rates_hz == pytest.approx(
+            [4000.0, 2000.0, 1000.0]
+        )
+
+
+class TestQueries:
+    def test_pareto_sorted_and_nondominated(self, result):
+        front = result.pareto_front()
+        rates = [p[0] for p in front]
+        enobs = [p[1] for p in front]
+        assert rates == sorted(rates)
+        # Along the front, higher rate must mean lower ENOB.
+        assert enobs == sorted(enobs, reverse=True)
+
+    def test_best_at_rate(self, result):
+        order, osr, enob = result.best_at_rate(1000.0)
+        assert order == 3
+        assert osr == 128
+        assert enob == result.enob[2, 2]
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert len(rows) == 4
+        assert any("Pareto" in r[0] for r in rows)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            run_design_space(orders=(5,), n_out=1024)

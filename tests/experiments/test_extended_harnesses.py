@@ -1,0 +1,101 @@
+"""The extended experiment harnesses at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_architecture_comparison,
+    run_dynamic_range,
+    run_noise_budget,
+    run_robustness,
+)
+
+
+class TestDynamicRange:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dynamic_range(
+            amplitudes_dbfs=np.array([-50.0, -30.0, -10.0, -3.0]),
+            n_fft=1024,
+        )
+
+    def test_monotone_to_peak(self, result):
+        assert np.all(np.diff(result.snr_db) > 0)
+
+    def test_roughly_1db_per_db(self, result):
+        slope = (result.snr_db[1] - result.snr_db[0]) / 20.0
+        assert slope == pytest.approx(1.0, abs=0.25)
+
+    def test_rows(self, result):
+        assert len(result.rows()) == 4
+
+    def test_rejects_positive_dbfs(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_dynamic_range(amplitudes_dbfs=np.array([3.0]))
+
+
+class TestNoiseBudget:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_noise_budget(n_fft=1024)
+
+    def test_all_cases_measured(self, result):
+        assert len(result.labels) == 7
+        assert np.all(np.isfinite(result.snr_db))
+
+    def test_twelve_bit_path_is_binding(self, result):
+        """Production SNR barely moves while float SNR spreads."""
+        assert np.ptp(result.snr_db) < 5.0
+        assert np.ptp(result.snr_float_db) > 5.0
+
+    def test_shaped_vs_unshaped(self, result):
+        _, offset_f = result.by_label("comparator offset only (100 mV)")
+        _, ref_f = result.by_label("reference noise only (1 mVref)")
+        assert offset_f > ref_f  # shaped imperfection beats un-shaped
+
+
+class TestArchitectures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_architecture_comparison(n_out=1024)
+
+    def test_third_order_wins(self, result):
+        assert result.by_label("3rd order, 1 bit") > result.by_label(
+            "2nd order, 1 bit (paper)"
+        )
+
+    def test_dwa_textbook_shape(self, result):
+        ideal = result.by_label("2nd order, 3 bit, ideal DAC")
+        fixed = result.by_label("2nd order, 3 bit, 0.3% mismatch, fixed")
+        dwa = result.by_label("2nd order, 3 bit, 0.3% mismatch, DWA")
+        assert fixed < ideal
+        assert dwa > fixed
+
+    def test_rows(self, result):
+        assert len(result.rows()) == 5
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_robustness(duration_s=20.0)
+
+    def test_artifact_defense(self, result):
+        assert result.artifact_sensitivity > 0.7
+        assert result.artifact_specificity > 0.6
+
+    def test_drift_figures(self, result):
+        assert 0.0 < result.warmup_gain_drift_fraction < 0.02
+        assert result.drift_error_uncorrected_mmhg < 2.0
+
+    def test_servo(self, result):
+        error = abs(result.servo_found_pa - result.servo_true_optimum_pa)
+        assert error < 0.15 * result.servo_true_optimum_pa
+
+    def test_rejects_short(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_robustness(duration_s=5.0)

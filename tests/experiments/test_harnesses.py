@@ -1,0 +1,145 @@
+"""Experiment harnesses at reduced scale: structure + shape checks.
+
+Full-length runs live in ``benchmarks/``; here each harness runs at the
+smallest scale that still exercises every code path, and the *shape*
+assertions from DESIGN.md §4 are verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_baseline_comparison,
+    run_feedback_ablation,
+    run_fig7,
+    run_fig9,
+    run_localization,
+    run_membrane_transfer,
+    run_mux_settling,
+    run_osr_ablation,
+    run_table_specs,
+)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(n_fft=2048, settle_words=64)
+
+    def test_meets_spec_at_reduced_length(self, result):
+        # Shorter record -> slightly noisier estimate; 70 dB floor.
+        assert result.snr_db > 70.0
+
+    def test_enob_near_12(self, result):
+        assert result.analysis.enob_bits == pytest.approx(11.7, abs=0.5)
+
+    def test_float_path_better(self, result):
+        assert result.float_path_analysis.snr_db > result.snr_db + 5.0
+
+    def test_rows_structure(self, result):
+        rows = result.rows()
+        assert all(len(r) == 3 for r in rows)
+        assert any("SNR" in r[0] for r in rows)
+
+    def test_spectrum_series(self, result):
+        freqs, db = result.spectrum_db()
+        assert freqs.size == db.size
+        assert db.max() == pytest.approx(0.0, abs=0.1)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(duration_s=8.0)
+
+    def test_errors_few_mmhg(self, result):
+        assert abs(result.result.systolic_error_mmhg) < 6.0
+        assert abs(result.result.diastolic_error_mmhg) < 6.0
+
+    def test_morphology(self, result):
+        assert result.dicrotic_notch_detected
+
+    def test_pulse_rate(self, result):
+        assert abs(result.pulse_rate_error_bpm) < 4.0
+
+    def test_rows(self, result):
+        assert len(result.rows()) == 8
+
+
+class TestTableSpecs:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table_specs(n_fft=2048)
+
+    def test_conversion_rate(self, table):
+        assert table.output_rate_hz == pytest.approx(1000.0)
+
+    def test_power_matches_paper(self, table):
+        assert table.power_w == pytest.approx(11.5e-3, rel=1e-6)
+
+    def test_enob(self, table):
+        assert table.enob_bits > 11.0
+
+    def test_array_fits(self, table):
+        assert table.array_span_ok
+
+    def test_decimator_ablation_ordering(self, table):
+        """Float sinc-only and brickwall (no 12-bit quantizer) beat the
+        12-bit-limited production chain."""
+        assert table.sinc_only_snr_db > table.snr_db
+        assert table.brickwall_snr_db > table.snr_db
+
+
+class TestMembraneTransfer:
+    def test_rows_and_shapes(self):
+        r = run_membrane_transfer(n_points=21)
+        assert r.pressures_pa.size == 21
+        assert r.capacitances_f.size == 21
+        assert r.max_linearity_error_fraction < 1e-3
+        assert len(r.rows()) == 7
+
+
+class TestMuxSettling:
+    def test_filter_limited(self):
+        r = run_mux_settling(n_words=64)
+        assert r.timing.dominant == "filter"
+        assert r.electrical_to_filter_ratio < 1e-3
+        assert 1 <= r.empirical_settle_words <= 24
+
+
+class TestLocalization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_localization(n_offsets=9)
+
+    def test_selection_beats_fixed(self, result):
+        assert result.selection_advantage > 1.0
+
+    def test_centroid_better_than_half_span(self, result):
+        # 8x8 array spans ~1.15 mm; localization should beat random.
+        assert np.median(result.centroid_error_m) < 1.0e-3
+
+
+class TestAblations:
+    def test_osr_slopes(self):
+        r = run_osr_ablation(osrs=np.array([32, 64, 128]), n_out=1024)
+        assert r.slope_2nd_bits_per_octave == pytest.approx(2.5, abs=0.7)
+        assert r.slope_1st_bits_per_octave == pytest.approx(1.5, abs=0.6)
+        assert r.slope_2nd_bits_per_octave > r.slope_1st_bits_per_octave
+
+    def test_feedback_optimum_below_nominal(self):
+        r = run_feedback_ablation(
+            cfb_ratios=np.array([1.5, 1.0, 0.75, 0.5]), n_out=1024
+        )
+        assert r.best_ratio <= 1.0
+        # Deep reduction destabilizes: clipping fraction rises.
+        assert r.clipped_fraction[-1] > r.clipped_fraction[1]
+
+
+@pytest.mark.slow
+class TestBaselineComparison:
+    def test_ordering(self):
+        r = run_baseline_comparison(duration_s=90.0)
+        assert r.catheter_rmse < r.cuff_rmse
+        assert r.tonometer_rmse < r.cuff_rmse
+        assert r.cuff_readings >= 1

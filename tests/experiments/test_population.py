@@ -1,0 +1,42 @@
+"""Population experiment at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_population
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_population(n_subjects=4, duration_s=6.0)
+
+
+class TestPopulation:
+    def test_all_subjects_measured(self, result):
+        assert result.n_subjects == 4
+        assert np.all(np.isfinite(result.systolic_errors_mmhg))
+        assert np.all(np.isfinite(result.diastolic_errors_mmhg))
+
+    def test_errors_bounded(self, result):
+        assert np.max(np.abs(result.systolic_errors_mmhg)) < 12.0
+        assert np.max(np.abs(result.diastolic_errors_mmhg)) < 12.0
+
+    def test_subject_diversity(self, result):
+        systolics = [s["systolic"] for s in result.subjects]
+        assert max(systolics) - min(systolics) > 10.0
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert any("AAMI" in r[1] for r in rows)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ConfigurationError):
+            run_population(n_subjects=2)
+
+    def test_reproducible(self):
+        a = run_population(n_subjects=3, duration_s=6.0, seed=5)
+        b = run_population(n_subjects=3, duration_s=6.0, seed=5)
+        assert a.systolic_errors_mmhg == pytest.approx(
+            b.systolic_errors_mmhg
+        )

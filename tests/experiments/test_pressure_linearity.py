@@ -1,0 +1,37 @@
+"""Pressure-linearity experiment at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_pressure_linearity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pressure_linearity(
+        amplitudes_pa=np.array([2.7e3, 40e3]), n_fft=1024
+    )
+
+
+class TestPressureLinearity:
+    def test_thd_is_noise_limited(self, result):
+        """The central (negative) finding: no harmonic rises above the
+        noise floor anywhere."""
+        assert np.all(result.thd_db < -20.0)
+
+    def test_snr_grows_with_drive(self, result):
+        assert result.snr_db[-1] > result.snr_db[0] + 10.0
+
+    def test_membrane_inl_tiny_and_monotone(self, result):
+        assert result.membrane_inl[0] < 1e-5
+        assert result.membrane_inl[-1] < 1e-3
+        assert result.membrane_inl[-1] > result.membrane_inl[0]
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert any("transducer limits linearity" in r[0] for r in rows)
+
+    def test_rejects_nonpositive_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            run_pressure_linearity(amplitudes_pa=np.array([-1.0]))

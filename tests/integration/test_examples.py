@@ -1,0 +1,42 @@
+"""Every shipped example must run to completion.
+
+Executed as subprocesses (their own ``__main__``), so import-time and
+run-time breakage in any example fails CI. Marked slow: together they
+cost ~30 s of simulation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "adc_characterization.py",
+        "vessel_localization.py",
+        "method_comparison.py",
+        "field_conditions.py",
+        "architecture_explorer.py",
+        "cardiac_surgery.py",
+    }

@@ -1,0 +1,57 @@
+"""Backpressure actuation (Fig. 8 assembly)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mems.backpressure import BackpressureActuator
+
+
+@pytest.fixture(scope="module")
+def actuator(sensor):
+    return BackpressureActuator(sensor)
+
+
+class TestProtrusion:
+    def test_protrusion_positive(self, actuator):
+        assert actuator.protrusion_m(5000.0)[0] > 0
+
+    def test_protrusion_monotone(self, actuator):
+        p = np.linspace(0.0, 20e3, 11)
+        prot = actuator.protrusion_m(p)
+        assert np.all(np.diff(prot) > 0)
+
+    def test_zero_backpressure_zero_protrusion(self, actuator):
+        assert actuator.protrusion_m(0.0)[0] == pytest.approx(0.0)
+
+    def test_negative_backpressure_rejected(self, actuator):
+        with pytest.raises(ConfigurationError):
+            actuator.protrusion_m(-10.0)
+
+    def test_required_backpressure_round_trip(self, actuator):
+        target = 50e-9
+        bp = actuator.required_backpressure_pa(target)
+        assert actuator.protrusion_m(bp)[0] == pytest.approx(target, rel=1e-9)
+
+    def test_required_backpressure_rejects_negative(self, actuator):
+        with pytest.raises(ConfigurationError):
+            actuator.required_backpressure_pa(-1e-9)
+
+
+class TestPneumatics:
+    def test_settles_to_command(self, actuator):
+        p = actuator.settled_pressure_pa(5000.0, 10 * actuator.time_constant_s)
+        assert float(p) == pytest.approx(5000.0, rel=1e-3)
+
+    def test_starts_at_initial(self, actuator):
+        p = actuator.settled_pressure_pa(5000.0, 0.0, initial_pa=1000.0)
+        assert float(p) == pytest.approx(1000.0)
+
+    def test_one_tau_63_percent(self, actuator):
+        tau = actuator.time_constant_s
+        p = actuator.settled_pressure_pa(1000.0, tau)
+        assert float(p) == pytest.approx(1000.0 * (1 - np.exp(-1)), rel=1e-9)
+
+    def test_rejects_nonpositive_time_constant(self, sensor):
+        with pytest.raises(ConfigurationError):
+            BackpressureActuator(sensor, time_constant_s=0.0)

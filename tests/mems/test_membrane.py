@@ -1,0 +1,107 @@
+"""MembraneSensor: interpolant fidelity, ranges, sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mems.membrane import MembraneSensor
+from repro.params import MembraneParams, PASCAL_PER_MMHG
+
+
+class TestInterpolantFidelity:
+    def test_matches_exact_in_operating_range(self, sensor):
+        p = np.linspace(*sensor.pressure_range_pa, 101)
+        fast = sensor.capacitance_f(p)
+        exact = sensor.capacitance_exact_f(p)
+        # Interpolant error far below 1 aF (signal is ~100s of aF).
+        assert np.max(np.abs(fast - exact)) < 1e-20
+
+    def test_rest_capacitance_consistent(self, sensor):
+        assert sensor.capacitance_f(0.0)[0] == pytest.approx(
+            sensor.rest_capacitance_f, rel=1e-9
+        )
+
+
+class TestTransferShape:
+    def test_monotone_increasing(self, sensor):
+        p = np.linspace(*sensor.pressure_range_pa, 201)
+        c = sensor.capacitance_f(p)
+        assert np.all(np.diff(c) > 0)
+
+    def test_sensitivity_positive(self, sensor):
+        assert sensor.pressure_sensitivity_f_per_pa(0.0) > 0
+
+    def test_linearity_error_small_in_physiologic_band(self, sensor):
+        p = np.linspace(-40, 40, 21) * PASCAL_PER_MMHG
+        err = sensor.linearity_error(p)
+        assert np.max(np.abs(err)) < 1e-4  # < 0.01 % of C0
+
+    def test_deflection_sign_convention(self, sensor):
+        """Positive pressure -> positive deflection (toward poly)."""
+        assert sensor.deflection_m(1000.0)[0] > 0
+        assert sensor.deflection_m(-1000.0)[0] < 0
+
+
+class TestRanges:
+    def test_out_of_range_raises(self, sensor):
+        lo, hi = sensor.pressure_range_pa
+        with pytest.raises(SimulationError, match="outside"):
+            sensor.capacitance_f(hi * 1.01)
+        with pytest.raises(SimulationError, match="outside"):
+            sensor.capacitance_f(lo * 1.01)
+
+    def test_full_scale_exceeds_operating_range(self, sensor):
+        assert sensor.full_scale_pressure_pa > sensor.pressure_range_pa[1]
+
+    def test_exact_path_covers_beyond_operating_range(self, sensor):
+        p = 2.0 * sensor.pressure_range_pa[1]
+        c = sensor.capacitance_exact_f(p)
+        assert np.isfinite(c[0])
+
+
+class TestConstruction:
+    def test_laminate_thickness_mismatch_rejected(self):
+        from repro.mems.laminate import Laminate
+        from repro.mems.materials import Layer, SILICON_OXIDE
+
+        thin = Laminate([Layer(SILICON_OXIDE, 1e-6)])
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            MembraneSensor(laminate=thin)
+
+    def test_rejects_bad_operating_range(self):
+        with pytest.raises(ConfigurationError):
+            MembraneSensor(operating_range_pa=0.0)
+
+    def test_custom_geometry(self):
+        params = MembraneParams(side_m=200e-6, pitch_m=250e-6)
+        big = MembraneSensor(params)
+        small = MembraneSensor()
+        # Bigger membrane: more compliant and more electrode area.
+        assert big.rest_capacitance_f > small.rest_capacitance_f
+        assert (
+            big.pressure_sensitivity_f_per_pa()
+            > small.pressure_sensitivity_f_per_pa()
+        )
+
+    def test_describe_contains_key_figures(self, sensor):
+        text = sensor.describe()
+        assert "sensitivity" in text
+        assert "rest capacitance" in text
+
+
+class TestMismatchEffects:
+    def test_smaller_gap_higher_sensitivity(self):
+        near = MembraneSensor(MembraneParams(gap_m=0.4e-6))
+        far = MembraneSensor(MembraneParams(gap_m=0.8e-6))
+        assert (
+            near.pressure_sensitivity_f_per_pa()
+            > far.pressure_sensitivity_f_per_pa()
+        )
+
+    def test_residual_stress_reduces_sensitivity(self):
+        slack = MembraneSensor(MembraneParams(residual_stress_pa=0.0))
+        tense = MembraneSensor(MembraneParams(residual_stress_pa=100e6))
+        assert (
+            tense.pressure_sensitivity_f_per_pa()
+            < slack.pressure_sensitivity_f_per_pa()
+        )

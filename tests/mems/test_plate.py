@@ -1,0 +1,176 @@
+"""Clamped square plate mechanics: limits, monotonicity, inverse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mems.laminate import Laminate
+from repro.mems.materials import Layer, SILICON_OXIDE, paper_membrane_stack
+from repro.mems.plate import (
+    ClampedSquarePlate,
+    MODE_I_BENDING,
+    MODE_I_TENSION,
+    MODE_I_VOLUME,
+    mode_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def plate() -> ClampedSquarePlate:
+    lam = Laminate(paper_membrane_stack())
+    return ClampedSquarePlate(100e-6, lam, residual_force_override_n_per_m=90.0)
+
+
+class TestModeShape:
+    def test_clamped_boundary(self):
+        assert mode_shape(np.array([-0.5, 0.5])) == pytest.approx([0.0, 0.0])
+
+    def test_unity_at_center(self):
+        assert mode_shape(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_zero_outside(self):
+        assert mode_shape(np.array([0.7, -1.0])) == pytest.approx([0.0, 0.0])
+
+    def test_symmetry(self):
+        xi = np.linspace(0, 0.5, 20)
+        assert mode_shape(xi) == pytest.approx(mode_shape(-xi))
+
+    def test_mode_integrals_closed_form(self):
+        """The closed-form constants must match numerical quadrature."""
+        xi = np.linspace(-0.5, 0.5, 20001)
+        phi = np.cos(np.pi * xi) ** 2
+        dphi = np.gradient(phi, xi)
+        d2phi = np.gradient(dphi, xi)
+        i_phi2 = np.trapezoid(phi**2, xi)
+        i_dphi2 = np.trapezoid(dphi**2, xi)
+        i_d2phi2 = np.trapezoid(d2phi**2, xi)
+        i_phid2 = np.trapezoid(phi * d2phi, xi)
+        i_b = 2 * i_d2phi2 * i_phi2 + 2 * i_phid2**2
+        i_t = 2 * i_dphi2 * i_phi2
+        assert i_b == pytest.approx(MODE_I_BENDING, rel=1e-3)
+        assert i_t == pytest.approx(MODE_I_TENSION, rel=1e-4)
+        assert np.trapezoid(phi, xi) ** 2 == pytest.approx(
+            MODE_I_VOLUME, rel=1e-6
+        )
+
+
+class TestPlateLimit:
+    def test_textbook_plate_coefficient(self):
+        """Stress-free pure-plate limit: w0 = alpha * P a^4 / D with
+        alpha within a few % of the exact 0.00126."""
+        lam = Laminate([Layer(SILICON_OXIDE, 2e-6)])
+        a = 100e-6
+        p = 100.0  # small enough for the linear regime
+        plate = ClampedSquarePlate(a, lam, residual_force_override_n_per_m=0.0)
+        w0 = float(plate.center_deflection_m(p)[0])
+        alpha = w0 * lam.flexural_rigidity_nm / (p * a**4)
+        assert alpha == pytest.approx(0.00126, rel=0.03)
+
+    def test_tension_limit(self):
+        """Tension-dominated limit: w0 ~ 0.0675 P a^2 / N0 (single-mode
+        Galerkin value; exact series gives 0.0737)."""
+        lam = Laminate([Layer(SILICON_OXIDE, 0.1e-6)])
+        a = 1000e-6  # large thin membrane: bending negligible
+        n0 = 100.0
+        plate = ClampedSquarePlate(a, lam, residual_force_override_n_per_m=n0)
+        p = 1.0
+        w0 = float(plate.center_deflection_m(p)[0])
+        coeff = w0 * n0 / (p * a**2)
+        assert coeff == pytest.approx(
+            MODE_I_VOLUME / MODE_I_TENSION, rel=0.02
+        )
+
+
+class TestLoadDeflection:
+    def test_monotone_in_pressure(self, plate):
+        p = np.linspace(-50e3, 50e3, 101)
+        w = plate.center_deflection_m(p)
+        assert np.all(np.diff(w) > 0)
+
+    def test_odd_symmetry(self, plate):
+        p = np.linspace(100.0, 50e3, 20)
+        w_pos = plate.center_deflection_m(p)
+        w_neg = plate.center_deflection_m(-p)
+        assert w_neg == pytest.approx(-w_pos)
+
+    def test_zero_pressure_zero_deflection(self, plate):
+        assert float(plate.center_deflection_m(0.0)[0]) == pytest.approx(0.0)
+
+    def test_inverse_round_trip(self, plate):
+        p = np.linspace(-40e3, 40e3, 17)
+        w = plate.center_deflection_m(p)
+        p_back = plate.pressure_for_deflection_pa(w)
+        assert p_back == pytest.approx(p, rel=1e-9, abs=1e-9)
+
+    def test_stiffening_reduces_large_deflection(self, plate):
+        """The cubic term makes deflection sub-linear in pressure."""
+        w_small = float(plate.center_deflection_m(1e3)[0])
+        w_large = float(plate.center_deflection_m(1e6)[0])
+        assert w_large < 1000.0 * w_small
+
+    def test_nonlinearity_fraction_grows(self, plate):
+        sol_small = plate.solve(1e3)
+        sol_large = plate.solve(1e6)
+        assert sol_large.nonlinearity_fraction[0] > (
+            sol_small.nonlinearity_fraction[0]
+        )
+
+    def test_linear_compliance_matches_small_signal(self, plate):
+        c = plate.linear_compliance_m_per_pa
+        w = float(plate.center_deflection_m(10.0)[0])
+        assert w / 10.0 == pytest.approx(c, rel=1e-4)
+
+    def test_solution_unpacking(self, plate):
+        w0, nl = plate.solve(1e3)
+        assert w0.shape == (1,)
+        assert nl.shape == (1,)
+
+
+class TestProfile:
+    def test_profile_peaks_at_center(self, plate):
+        x = np.linspace(-50e-6, 50e-6, 41)
+        prof = plate.deflection_profile_m(1e3, x, np.zeros_like(x))
+        assert np.argmax(prof) == 20
+
+    def test_profile_center_equals_w0(self, plate):
+        w0 = float(plate.center_deflection_m(1e3)[0])
+        center = float(plate.deflection_profile_m(1e3, 0.0, 0.0))
+        assert center == pytest.approx(w0)
+
+    def test_profile_zero_at_edges(self, plate):
+        edge = float(plate.deflection_profile_m(1e3, 50e-6, 0.0))
+        assert edge == pytest.approx(0.0, abs=1e-18)
+
+
+class TestStressEffects:
+    def test_tension_stiffens(self):
+        lam = Laminate(paper_membrane_stack())
+        slack = ClampedSquarePlate(100e-6, lam, residual_force_override_n_per_m=0.0)
+        tense = ClampedSquarePlate(100e-6, lam, residual_force_override_n_per_m=300.0)
+        assert (
+            tense.linear_compliance_m_per_pa < slack.linear_compliance_m_per_pa
+        )
+
+    def test_buckling_detected(self):
+        lam = Laminate(paper_membrane_stack())
+        with pytest.raises(ConfigurationError, match="buckled"):
+            ClampedSquarePlate(
+                100e-6, lam, residual_force_override_n_per_m=-1e5
+            )
+
+    def test_resonance_well_above_band(self, plate):
+        """Quasi-static assumption: resonance >> 500 Hz signal band."""
+        assert plate.resonance_frequency_hz() > 100e3
+
+    def test_tension_raises_resonance(self):
+        lam = Laminate(paper_membrane_stack())
+        slack = ClampedSquarePlate(100e-6, lam, residual_force_override_n_per_m=0.0)
+        tense = ClampedSquarePlate(100e-6, lam, residual_force_override_n_per_m=300.0)
+        assert tense.resonance_frequency_hz() > slack.resonance_frequency_hz()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_side(self):
+        lam = Laminate(paper_membrane_stack())
+        with pytest.raises(ConfigurationError):
+            ClampedSquarePlate(0.0, lam)

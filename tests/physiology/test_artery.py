@@ -1,0 +1,81 @@
+"""Vessel-wall mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import TissueParams
+from repro.physiology.artery import VesselWall
+
+
+@pytest.fixture(scope="module")
+def wall() -> VesselWall:
+    return VesselWall()
+
+
+class TestLinearRegime:
+    def test_linear_for_positive_transmural(self, wall):
+        p = np.linspace(100.0, 10e3, 20)
+        d = wall.wall_displacement_m(p)
+        c = wall.params.wall_compliance_m_per_pa
+        assert d == pytest.approx(c * p, rel=1e-9)
+
+    def test_zero_at_zero(self, wall):
+        assert wall.wall_displacement_m(0.0)[0] == pytest.approx(0.0)
+
+    def test_pulsatile_gain_matches_compliance(self, wall):
+        gain = wall.pulsatile_gain_m_per_pa(5000.0)
+        assert gain == pytest.approx(
+            wall.params.wall_compliance_m_per_pa, rel=1e-6
+        )
+
+
+class TestCollapse:
+    def test_saturates_under_negative_transmural(self, wall):
+        d = wall.wall_displacement_m(np.array([-20e3]))
+        limit = (
+            wall.params.wall_compliance_m_per_pa * -wall.collapse_margin_pa
+        )
+        assert abs(d[0]) <= limit
+
+    def test_monotone_through_zero(self, wall):
+        p = np.linspace(-10e3, 10e3, 101)
+        d = wall.wall_displacement_m(p)
+        assert np.all(np.diff(d) > 0)
+
+    def test_collapse_reduces_gain(self, wall):
+        deep = wall.pulsatile_gain_m_per_pa(-6000.0)
+        normal = wall.pulsatile_gain_m_per_pa(5000.0)
+        assert deep < 0.5 * normal
+
+    def test_rejects_positive_margin(self):
+        with pytest.raises(ConfigurationError):
+            VesselWall(collapse_margin_pa=1000.0)
+
+
+class TestTubeLaw:
+    def test_compliance_from_geometry(self):
+        wall = VesselWall.from_tube_law(
+            radius_m=1.25e-3, wall_thickness_m=0.25e-3, wall_modulus_pa=0.5e6
+        )
+        expected = (1.25e-3) ** 2 / (0.5e6 * 0.25e-3)
+        assert wall.params.wall_compliance_m_per_pa == pytest.approx(expected)
+
+    def test_stiffer_wall_less_compliant(self):
+        soft = VesselWall.from_tube_law(1.25e-3, 0.25e-3, 0.3e6)
+        stiff = VesselWall.from_tube_law(1.25e-3, 0.25e-3, 1.0e6)
+        assert (
+            stiff.params.wall_compliance_m_per_pa
+            < soft.params.wall_compliance_m_per_pa
+        )
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            VesselWall.from_tube_law(0.0, 0.25e-3, 0.5e6)
+
+    def test_preserves_other_params(self):
+        base = TissueParams(artery_depth_m=3e-3)
+        wall = VesselWall.from_tube_law(
+            1.25e-3, 0.25e-3, 0.5e6, params=base
+        )
+        assert wall.params.artery_depth_m == 3e-3

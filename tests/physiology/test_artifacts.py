@@ -1,0 +1,80 @@
+"""Motion artifact generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physiology.artifacts import MotionArtifactGenerator
+
+
+class TestGeneration:
+    def test_shapes(self, rng):
+        gen = MotionArtifactGenerator()
+        record = gen.generate(30.0, 250.0, rng=rng)
+        assert record.times_s.size == record.pressure_mmhg.size == 7500
+
+    def test_event_rates(self):
+        gen = MotionArtifactGenerator(
+            tap_rate_per_min=10.0, flexion_rate_per_min=5.0,
+            creep_mmhg_per_min=0.0,
+        )
+        counts = []
+        for seed in range(12):
+            record = gen.generate(60.0, 100.0, rng=np.random.default_rng(seed))
+            counts.append(len(record.events))
+        assert np.mean(counts) == pytest.approx(15.0, rel=0.35)
+
+    def test_event_kinds(self, rng):
+        gen = MotionArtifactGenerator(
+            tap_rate_per_min=30.0, flexion_rate_per_min=30.0
+        )
+        record = gen.generate(60.0, 100.0, rng=rng)
+        kinds = {e.kind for e in record.events}
+        assert kinds == {"tap", "flexion"}
+
+    def test_no_events_when_rates_zero(self, rng):
+        gen = MotionArtifactGenerator(
+            tap_rate_per_min=0.0, flexion_rate_per_min=0.0,
+            creep_mmhg_per_min=0.0,
+        )
+        record = gen.generate(30.0, 100.0, rng=rng)
+        assert len(record.events) == 0
+        assert np.allclose(record.pressure_mmhg, 0.0)
+
+    def test_creep_is_linear(self, rng):
+        gen = MotionArtifactGenerator(
+            tap_rate_per_min=0.0, flexion_rate_per_min=0.0,
+            creep_mmhg_per_min=2.0,
+        )
+        record = gen.generate(120.0, 50.0, rng=rng)
+        assert record.pressure_mmhg[-1] == pytest.approx(4.0, rel=0.01)
+
+    def test_contaminated_mask_covers_events(self, rng):
+        gen = MotionArtifactGenerator(tap_rate_per_min=20.0)
+        record = gen.generate(60.0, 100.0, rng=rng)
+        mask = record.contaminated_mask(guard_s=0.0)
+        for event in record.events:
+            idx = int((event.start_s + event.duration_s / 2) * 100.0)
+            if idx < mask.size:
+                assert mask[idx]
+
+    def test_mask_guard_expands(self, rng):
+        gen = MotionArtifactGenerator(tap_rate_per_min=20.0)
+        record = gen.generate(60.0, 100.0, rng=rng)
+        tight = record.contaminated_mask(guard_s=0.0).sum()
+        wide = record.contaminated_mask(guard_s=0.5).sum()
+        if record.events:
+            assert wide > tight
+
+    def test_pa_conversion(self, rng):
+        gen = MotionArtifactGenerator()
+        record = gen.generate(10.0, 100.0, rng=rng)
+        assert record.pressure_pa == pytest.approx(
+            record.pressure_mmhg * 133.322, rel=1e-5
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            MotionArtifactGenerator(tap_rate_per_min=-1.0)
+        with pytest.raises(ConfigurationError):
+            MotionArtifactGenerator().generate(0.0, 100.0)

@@ -1,0 +1,83 @@
+"""VirtualPatient with the Windkessel waveform engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physiology.patient import VirtualPatient
+
+
+@pytest.fixture(scope="module")
+def recording():
+    patient = VirtualPatient(
+        engine="windkessel", rng=np.random.default_rng(81)
+    )
+    return patient.record(duration_s=20.0, sample_rate_hz=500.0)
+
+
+class TestWindkesselEngine:
+    def test_targets_hit_after_settling(self, recording):
+        settled = recording.beat_truth[
+            recording.beat_truth[:, 0] > 8.0
+        ]
+        assert settled[:, 1].mean() == pytest.approx(120.0, abs=6.0)
+        assert settled[:, 2].mean() == pytest.approx(80.0, abs=6.0)
+
+    def test_beat_structure_present(self, recording):
+        """The waveform pulses at the heart rate."""
+        from repro.calibration.features import detect_beats
+
+        settled = recording.pressure_mmhg[recording.times_s > 8.0]
+        feats = detect_beats(settled, 500.0)
+        assert feats.pulse_rate_bpm() == pytest.approx(70.0, abs=5.0)
+
+    def test_diastolic_decay_shape(self, recording):
+        """Windkessel fingerprint: late diastole decays exponentially
+        (convex, monotone) rather than showing the template's dicrotic
+        wave structure."""
+        t = recording.times_s
+        p = recording.pressure_mmhg
+        schedule = recording.schedule
+        onsets = schedule.onset_times_s
+        k = np.searchsorted(onsets, 12.0)
+        start, stop = onsets[k], onsets[k + 1]
+        mask = (t >= start + 0.55 * (stop - start)) & (t < stop - 0.02)
+        segment = p[mask]
+        assert np.all(np.diff(segment) < 0.05)  # monotone decay (+noise)
+
+    def test_engine_validation(self):
+        with pytest.raises(ConfigurationError):
+            VirtualPatient(engine="magic")
+
+    def test_template_engine_unchanged(self):
+        a = VirtualPatient(rng=np.random.default_rng(82)).record(5.0, 200.0)
+        b = VirtualPatient(
+            engine="template", rng=np.random.default_rng(82)
+        ).record(5.0, 200.0)
+        assert a.pressure_mmhg == pytest.approx(b.pressure_mmhg)
+
+    def test_full_chain_compatible(self):
+        """The Windkessel patient drives the monitor end to end."""
+        from repro.core.chain import ReadoutChain
+        from repro.core.monitor import BloodPressureMonitor
+        from repro.params import PASCAL_PER_MMHG, SystemParams
+        from repro.tonometry.contact import ContactModel
+        from repro.tonometry.coupling import TonometricCoupling
+
+        params = SystemParams()
+        rng = np.random.default_rng(83)
+        chain = ReadoutChain(params, rng=rng)
+        contact = ContactModel(
+            contact=params.contact, tissue=params.tissue,
+            mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
+        )
+        coupling = TonometricCoupling(
+            chain.chip.array.geometry, contact, rng=rng
+        )
+        monitor = BloodPressureMonitor(chain, coupling)
+        patient = VirtualPatient(engine="windkessel", rng=rng)
+        result = monitor.measure(
+            patient, duration_s=6.0, scan_dwell_s=0.5, rng=rng
+        )
+        assert result.quality.n_beats >= 4
+        assert abs(result.systolic_error_mmhg) < 10.0

@@ -1,0 +1,84 @@
+"""Radial pulse template: morphology and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physiology.pulse import RadialPulseTemplate
+
+
+@pytest.fixture(scope="module")
+def template() -> RadialPulseTemplate:
+    return RadialPulseTemplate()
+
+
+class TestNormalization:
+    def test_range_zero_to_one(self, template):
+        # Probe at the template's own grid resolution: interpolation
+        # between grid nodes cannot overshoot but can miss the extrema.
+        phase = np.linspace(0, 1, 2048, endpoint=False)
+        wave = template.evaluate(phase)
+        assert wave.min() == pytest.approx(0.0, abs=1e-9)
+        assert wave.max() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(wave >= 0.0)
+        assert np.all(wave <= 1.0)
+
+    def test_periodicity(self, template):
+        assert template.evaluate(0.0) == pytest.approx(
+            template.evaluate(1.0), abs=1e-6
+        )
+        assert template.evaluate(0.3) == pytest.approx(
+            template.evaluate(1.3), abs=1e-12
+        )
+
+    def test_wrapping_negative_phase(self, template):
+        assert template.evaluate(-0.2) == pytest.approx(
+            template.evaluate(0.8), abs=1e-12
+        )
+
+
+class TestMorphology:
+    def test_systolic_peak_early(self, template):
+        """Systole peaks in the first quarter of the beat."""
+        assert 0.05 < template.systolic_phase < 0.3
+
+    def test_dicrotic_notch_after_peak(self, template):
+        assert template.systolic_phase < template.dicrotic_notch_phase < 0.7
+
+    def test_notch_is_local_minimum(self, template):
+        notch = template.dicrotic_notch_phase
+        eps = 0.02
+        v = template.evaluate(np.array([notch - eps, notch, notch + eps]))
+        assert v[1] <= v[0]
+        assert v[1] <= v[2]
+
+    def test_diastolic_runoff_decreasing(self, template):
+        """Late diastole decays toward the end-diastolic minimum."""
+        late = np.linspace(0.75, 0.98, 30)
+        wave = template.evaluate(late)
+        assert np.all(np.diff(wave) < 0.01)  # non-increasing (small slack)
+
+    def test_map_rule_of_thumb(self, template):
+        """Beat-average between 1/4 and 1/2 of pulse height: consistent
+        with the clinical MAP ~ dia + PP/3 rule."""
+        assert 0.2 < template.mean_value() < 0.5
+
+
+class TestCustomization:
+    def test_custom_lobes(self):
+        simple = RadialPulseTemplate(
+            lobes=((1.0, 0.2, 0.08),), notch=None, decay_rate=0.0
+        )
+        assert simple.systolic_phase == pytest.approx(0.2, abs=0.02)
+
+    def test_rejects_empty_lobes(self):
+        with pytest.raises(ConfigurationError):
+            RadialPulseTemplate(lobes=())
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            RadialPulseTemplate(lobes=((1.0, 0.2, 0.0),))
+
+    def test_rejects_small_grid(self):
+        with pytest.raises(ConfigurationError):
+            RadialPulseTemplate(grid_points=10)

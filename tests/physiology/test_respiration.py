@@ -1,0 +1,66 @@
+"""Respiratory modulation and baseline wander."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physiology.respiration import RespirationModel
+
+
+class TestSinusoid:
+    def test_amplitude(self):
+        model = RespirationModel(rate_bpm=15.0, depth_mmhg=3.0)
+        t = np.arange(0, 60.0, 0.01)
+        mod = model.modulation_mmhg(t)
+        assert mod.max() == pytest.approx(3.0, rel=1e-3)
+        assert mod.min() == pytest.approx(-3.0, rel=1e-3)
+
+    def test_frequency(self):
+        model = RespirationModel(rate_bpm=12.0, depth_mmhg=1.0)
+        t = np.arange(0, 60.0, 0.01)
+        mod = model.modulation_mmhg(t)
+        # Count zero crossings: 12 cycles/min -> 24 crossings in 60 s.
+        crossings = np.sum(np.diff(np.signbit(mod)) != 0)
+        assert crossings == pytest.approx(24, abs=1)
+
+    def test_zero_depth(self):
+        model = RespirationModel(depth_mmhg=0.0)
+        t = np.arange(0, 10.0, 0.01)
+        assert np.all(model.modulation_mmhg(t) == 0.0)
+
+    def test_phase_offset(self):
+        a = RespirationModel(phase_rad=0.0)
+        b = RespirationModel(phase_rad=np.pi)
+        t = np.arange(0, 10.0, 0.01)
+        assert a.modulation_mmhg(t) == pytest.approx(-b.modulation_mmhg(t))
+
+
+class TestWander:
+    def test_rms_scaling(self, rng):
+        model = RespirationModel(depth_mmhg=0.0, wander_mmhg=2.0)
+        t = np.arange(0, 600.0, 0.05)
+        mod = model.modulation_mmhg(t, rng=rng)
+        assert np.std(mod) == pytest.approx(2.0, rel=0.4)
+
+    def test_wander_is_low_frequency(self, rng):
+        model = RespirationModel(
+            depth_mmhg=0.0, wander_mmhg=1.0, wander_corner_hz=0.05
+        )
+        t = np.arange(0, 300.0, 0.05)
+        mod = model.modulation_mmhg(t, rng=rng)
+        psd = np.abs(np.fft.rfft(mod)) ** 2
+        freqs = np.fft.rfftfreq(t.size, 0.05)
+        low = psd[(freqs > 0.005) & (freqs < 0.05)].mean()
+        high = psd[(freqs > 0.5) & (freqs < 2.0)].mean()
+        assert low > 30 * high
+
+    def test_wander_needs_uniform_grid(self, rng):
+        model = RespirationModel(wander_mmhg=1.0)
+        with pytest.raises(ConfigurationError):
+            model.modulation_mmhg(np.array([0.0, 0.1, 0.5]), rng=rng)
+
+    def test_rejects_negative_magnitudes(self):
+        with pytest.raises(ConfigurationError):
+            RespirationModel(depth_mmhg=-1.0)
+        with pytest.raises(ConfigurationError):
+            RespirationModel(wander_mmhg=-1.0)

@@ -1,0 +1,106 @@
+"""Ventricular template and arterial-line calibration reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.catheter import ArterialLineReference
+from repro.errors import ConfigurationError
+from repro.params import PatientParams
+from repro.physiology import VirtualPatient, ventricular_template
+
+
+class TestVentricularTemplate:
+    @pytest.fixture(scope="class")
+    def template(self):
+        return ventricular_template()
+
+    def test_normalized(self, template):
+        phase = np.linspace(0, 1, 2048, endpoint=False)
+        wave = template.evaluate(phase)
+        assert wave.min() == pytest.approx(0.0, abs=1e-9)
+        assert wave.max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_diastole_near_zero(self, template):
+        """Ventricular signature: most of the beat near the floor."""
+        phase = np.linspace(0, 1, 2048, endpoint=False)
+        wave = template.evaluate(phase)
+        assert np.mean(wave < 0.1) > 0.45
+
+    def test_systolic_plateau_wide(self, template):
+        """The systolic complex spans a wider phase band than a radial
+        peak: > 15 % of the beat above 80 % height."""
+        phase = np.linspace(0, 1, 2048, endpoint=False)
+        wave = template.evaluate(phase)
+        assert np.mean(wave > 0.8) > 0.15
+
+    def test_no_notch(self, template):
+        """No dicrotic structure: the decay limb has no local minimum
+        followed by a rebound above 2 % of the pulse."""
+        from scipy.signal import argrelextrema
+
+        phase = np.linspace(0, 1, 2048, endpoint=False)
+        wave = template.evaluate(phase)
+        peak = int(np.argmax(wave))
+        segment = wave[peak : int(0.7 * wave.size)]
+        minima = argrelextrema(segment, np.less, order=5)[0]
+        for m in minima:
+            rebound = segment[m:].max() - segment[m]
+            assert rebound < 0.02
+
+
+class TestVentricularPatient:
+    def test_lv_pressures(self):
+        lv = PatientParams(systolic_mmhg=110.0, diastolic_mmhg=6.0,
+                           heart_rate_bpm=80.0)
+        patient = VirtualPatient(
+            lv, template=ventricular_template(),
+            rng=np.random.default_rng(21),
+        )
+        rec = patient.record(duration_s=10.0, sample_rate_hz=500.0)
+        assert rec.systolic_mmhg == pytest.approx(110.0, abs=5.0)
+        assert rec.diastolic_mmhg == pytest.approx(6.0, abs=4.0)
+
+
+class TestArterialLineReference:
+    def test_reads_radial_patient(self):
+        patient = VirtualPatient(rng=np.random.default_rng(22))
+        line = ArterialLineReference()
+        reading = line.measure(patient, rng=np.random.default_rng(23))
+        assert reading.systolic_mmhg == pytest.approx(120.0, abs=5.0)
+        assert reading.diastolic_mmhg == pytest.approx(80.0, abs=5.0)
+
+    def test_reads_ventricular_patient(self):
+        """The case the cuff physically cannot do."""
+        lv = PatientParams(systolic_mmhg=110.0, diastolic_mmhg=6.0,
+                           heart_rate_bpm=80.0)
+        patient = VirtualPatient(
+            lv, template=ventricular_template(),
+            rng=np.random.default_rng(24),
+        )
+        line = ArterialLineReference()
+        reading = line.measure(patient, rng=np.random.default_rng(25))
+        assert reading.systolic_mmhg == pytest.approx(110.0, abs=6.0)
+        assert reading.diastolic_mmhg == pytest.approx(6.0, abs=4.0)
+
+    def test_more_accurate_than_cuff_on_radial(self):
+        from repro.baselines.cuff import OscillometricCuff
+
+        patient = VirtualPatient(rng=np.random.default_rng(26))
+        line_reading = ArterialLineReference().measure(
+            patient, rng=np.random.default_rng(27)
+        )
+        patient2 = VirtualPatient(rng=np.random.default_rng(26))
+        cuff_reading = OscillometricCuff().measure(
+            patient2, rng=np.random.default_rng(27)
+        )
+        line_err = abs(line_reading.systolic_mmhg - 120.0) + abs(
+            line_reading.diastolic_mmhg - 80.0
+        )
+        cuff_err = abs(cuff_reading.systolic_mmhg - 120.0) + abs(
+            cuff_reading.diastolic_mmhg - 80.0
+        )
+        assert line_err <= cuff_err + 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            ArterialLineReference(duration_s=0.0)

@@ -1,0 +1,86 @@
+"""Hypothesis properties of the CIC decimator and FIR streaming."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.cic import CICDecimator
+from repro.dsp.fir import FIRDecimator, design_compensation_fir
+
+
+@st.composite
+def cic_cases(draw):
+    order = draw(st.integers(min_value=1, max_value=4))
+    decimation = draw(st.sampled_from([2, 4, 8, 16, 32]))
+    n = draw(st.integers(min_value=decimation, max_value=40 * decimation))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return order, decimation, n, seed
+
+
+class TestCICProperties:
+    @given(cic_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_linearity(self, case):
+        """CIC is linear: response to -x is the negation."""
+        order, decimation, n, seed = case
+        bits = np.random.default_rng(seed).choice([-1, 1], size=n).astype(
+            np.int64
+        )
+        a = CICDecimator(order, decimation, input_bits=2).process(bits)
+        b = CICDecimator(order, decimation, input_bits=2).process(-bits)
+        assert np.array_equal(a, -b)
+
+    @given(cic_cases(), st.integers(min_value=1, max_value=97))
+    @settings(max_examples=60, deadline=None)
+    def test_chunking_invariance(self, case, chunk):
+        order, decimation, n, seed = case
+        bits = np.random.default_rng(seed).choice([-1, 1], size=n).astype(
+            np.int64
+        )
+        whole = CICDecimator(order, decimation, input_bits=2).process(bits)
+        stream = CICDecimator(order, decimation, input_bits=2)
+        parts = [
+            stream.process(bits[i : i + chunk])
+            for i in range(0, n, chunk)
+        ]
+        assert np.array_equal(np.concatenate(parts + [np.zeros(0, np.int64)]), whole)
+
+    @given(cic_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_dc_gain_bound(self, case):
+        """Outputs never exceed the DC gain for +/-1 inputs."""
+        order, decimation, n, seed = case
+        bits = np.random.default_rng(seed).choice([-1, 1], size=n).astype(
+            np.int64
+        )
+        out = CICDecimator(order, decimation, input_bits=2).process(bits)
+        if out.size:
+            assert np.max(np.abs(out)) <= decimation**order
+
+
+class TestFIRProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=61),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_invariance(self, seed, decimation, chunk):
+        coeffs = design_compensation_fir(32, 4000.0, 500.0)
+        x = np.random.default_rng(seed).integers(-(2**14), 2**14, 300)
+        whole = FIRDecimator(coeffs, decimation=decimation).process(x)
+        stream = FIRDecimator(coeffs, decimation=decimation)
+        parts = [
+            stream.process(x[i : i + chunk]) for i in range(0, x.size, chunk)
+        ]
+        got = np.concatenate(parts + [np.zeros(0, np.int64)])
+        assert np.array_equal(got, whole)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_in_input_scale(self, seed):
+        coeffs = design_compensation_fir(32, 4000.0, 500.0)
+        x = np.random.default_rng(seed).integers(-(2**12), 2**12, 200)
+        a = FIRDecimator(coeffs).process(x)
+        b = FIRDecimator(coeffs).process(3 * x)
+        assert np.array_equal(b, 3 * a)

@@ -1,0 +1,84 @@
+"""Hypothesis properties of the fixed-point primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.fixed_point import (
+    QFormat,
+    saturate,
+    wrap_twos_complement,
+)
+
+ints = st.integers(min_value=-(2**40), max_value=2**40)
+widths = st.integers(min_value=2, max_value=32)
+
+
+class TestWrapProperties:
+    @given(st.lists(ints, min_size=1, max_size=50), widths)
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_is_idempotent(self, values, bits):
+        x = np.array(values)
+        once = wrap_twos_complement(x, bits)
+        assert np.array_equal(wrap_twos_complement(once, bits), once)
+
+    @given(st.lists(ints, min_size=1, max_size=50), widths)
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_in_range(self, values, bits):
+        out = wrap_twos_complement(np.array(values), bits)
+        assert out.max() <= (1 << (bits - 1)) - 1
+        assert out.min() >= -(1 << (bits - 1))
+
+    @given(ints, ints, widths)
+    @settings(max_examples=200, deadline=None)
+    def test_wrap_additive_homomorphism(self, a, b, bits):
+        """wrap(a + b) == wrap(wrap(a) + wrap(b)) — the modular-arithmetic
+        property Hogenauer CIC correctness rests on."""
+        lhs = wrap_twos_complement(np.array([a + b]), bits)
+        rhs = wrap_twos_complement(
+            wrap_twos_complement(np.array([a]), bits)
+            + wrap_twos_complement(np.array([b]), bits),
+            bits,
+        )
+        assert np.array_equal(lhs, rhs)
+
+    @given(st.lists(ints, min_size=1, max_size=50), widths)
+    @settings(max_examples=100, deadline=None)
+    def test_saturate_in_range_and_monotone(self, values, bits):
+        x = np.sort(np.array(values))
+        out = saturate(x, bits)
+        assert np.all(np.diff(out) >= 0)
+        assert out.max() <= (1 << (bits - 1)) - 1
+        assert out.min() >= -(1 << (bits - 1))
+
+
+class TestQFormatProperties:
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=20),
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_error_bounded(self, int_bits, frac_bits, values):
+        if 1 + int_bits + frac_bits < 2:
+            return
+        q = QFormat(int_bits=int_bits, frac_bits=frac_bits)
+        x = np.array(values)
+        in_range = np.clip(x, q.min_value, q.max_value)
+        out = q.quantize(in_range)
+        assert np.max(np.abs(out - in_range)) <= q.scale / 2 + 1e-12
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_idempotent(self, int_bits, frac_bits):
+        q = QFormat(int_bits=int_bits, frac_bits=frac_bits)
+        x = np.linspace(q.min_value, q.max_value, 37)
+        once = q.quantize(x)
+        assert np.array_equal(q.quantize(once), once)

@@ -1,0 +1,100 @@
+"""Hypothesis properties of USB framing and the stream reassembler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daq.stream import SampleStream
+from repro.daq.usb import FrameDecoder, FrameEncoder
+
+codes_lists = st.lists(
+    st.integers(min_value=-2048, max_value=2047), min_size=1, max_size=300
+)
+
+
+class TestFramingRoundTrip:
+    @given(
+        codes_lists,
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_any_payload(self, codes, element, frame_size):
+        enc = FrameEncoder(samples_per_frame=frame_size)
+        payload = enc.push(np.array(codes, dtype=np.int16), element)
+        payload += enc.flush()
+        frames = FrameDecoder().feed(payload)
+        got = np.concatenate([f.samples for f in frames])
+        assert np.array_equal(got, np.array(codes, dtype=np.int16))
+        assert all(f.element == element for f in frames)
+
+    @given(
+        codes_lists,
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_fragmentation(self, codes, frame_size, seed):
+        enc = FrameEncoder(samples_per_frame=frame_size)
+        payload = enc.push(np.array(codes, dtype=np.int16), 0) + enc.flush()
+        rng = np.random.default_rng(seed)
+        dec = FrameDecoder()
+        frames = []
+        i = 0
+        while i < len(payload):
+            step = int(rng.integers(1, 9))
+            frames += dec.feed(payload[i : i + step])
+            i += step
+        got = np.concatenate([f.samples for f in frames])
+        assert np.array_equal(got, np.array(codes, dtype=np.int16))
+
+    @given(codes_lists, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_single_corruption_never_fabricates_data(self, codes, seed):
+        """Flipping one byte may drop frames but every surviving frame's
+        content is genuine."""
+        enc = FrameEncoder(samples_per_frame=8)
+        payload = bytearray(
+            enc.push(np.array(codes, dtype=np.int16), 0) + enc.flush()
+        )
+        rng = np.random.default_rng(seed)
+        pos = int(rng.integers(0, len(payload)))
+        payload[pos] ^= 0xA7
+        frames = FrameDecoder().feed(bytes(payload))
+        truth = np.array(codes, dtype=np.int16)
+        # Every decoded frame must be a contiguous slice of the truth at
+        # its sequence position (frame k starts at k * 8).
+        for f in frames:
+            start = f.sequence * 8
+            expected = truth[start : start + f.samples.size]
+            if expected.size == f.samples.size:
+                assert np.array_equal(f.samples, expected)
+
+
+class TestStreamProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=1, max_value=60),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_per_element_counts_conserved(self, bursts):
+        enc = FrameEncoder(samples_per_frame=16)
+        payload = b""
+        expected: dict[int, int] = {}
+        value = 0
+        for element, count in bursts:
+            codes = np.arange(value, value + count, dtype=np.int16)
+            value += count
+            payload += enc.push(codes, element)
+            expected[element] = expected.get(element, 0) + count
+        payload += enc.flush()
+        stream = SampleStream()
+        stream.ingest(FrameDecoder().feed(payload))
+        for element, count in expected.items():
+            assert stream.sample_count(element) == count

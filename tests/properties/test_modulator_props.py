@@ -1,0 +1,87 @@
+"""Hypothesis properties of the sigma-delta loops."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import ModulatorParams, NonidealityParams
+from repro.sdm.higher_order import HigherOrderSDM
+from repro.sdm.modulator import SecondOrderSDM
+
+dc_levels = st.floats(min_value=-0.85, max_value=0.85)
+
+
+class TestSecondOrderProperties:
+    @given(dc_levels)
+    @settings(max_examples=25, deadline=None)
+    def test_dc_mean_tracks_input(self, level):
+        sdm = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(0),
+        )
+        out = sdm.simulate(np.full(16000, level))
+        assert abs(out.mean - level) < 0.02
+
+    @given(dc_levels, st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=25, deadline=None)
+    def test_chunking_invariance(self, level, split):
+        u = np.full(6000, level)
+        whole = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(1),
+        ).simulate(u).bitstream
+        stream = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(1),
+        )
+        split = min(split, u.size)
+        parts = np.concatenate(
+            [
+                stream.simulate(u[:split]).bitstream,
+                stream.simulate(u[split:]).bitstream,
+            ]
+        )
+        assert np.array_equal(whole, parts)
+
+    @given(st.floats(min_value=0.0, max_value=0.7),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_bitstream_always_pm1(self, amplitude, seed):
+        rng = np.random.default_rng(seed)
+        sdm = SecondOrderSDM(rng=rng)
+        u = amplitude * np.sin(2 * np.pi * 0.003 * np.arange(3000))
+        bits = sdm.simulate(u).bitstream
+        assert set(np.unique(bits)) <= {-1, 1}
+
+    @given(dc_levels)
+    @settings(max_examples=20, deadline=None)
+    def test_negation_symmetry(self, level):
+        """An ideal loop is odd-symmetric: mean(-u) == -mean(u)."""
+        a = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(2),
+        ).simulate(np.full(16000, level)).mean
+        b = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(2),
+        ).simulate(np.full(16000, -level)).mean
+        assert abs(a + b) < 0.03
+
+
+class TestHigherOrderProperties:
+    @given(
+        st.sampled_from([1, 2, 3]),
+        st.floats(min_value=-0.4, max_value=0.4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dc_tracking_any_order(self, order, level):
+        sdm = HigherOrderSDM(order=order)
+        out = sdm.simulate(np.full(16000, level))
+        assert abs(float(np.mean(out.bitstream)) - level) < 0.03
+
+    @given(st.sampled_from([1, 2, 3, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_input_zero_mean(self, order):
+        sdm = HigherOrderSDM(order=order)
+        out = sdm.simulate(np.zeros(16000))
+        assert abs(float(np.mean(out.bitstream))) < 0.02

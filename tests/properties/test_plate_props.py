@@ -1,0 +1,93 @@
+"""Hypothesis properties of the plate mechanics and capacitance."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mems.capacitor import DeflectedPlateCapacitor
+from repro.mems.laminate import Laminate
+from repro.mems.materials import paper_membrane_stack
+from repro.mems.plate import ClampedSquarePlate, _solve_stiffening_cubic
+
+sides = st.floats(min_value=50e-6, max_value=500e-6)
+forces = st.floats(min_value=0.0, max_value=500.0)  # N/m, tensile
+pressures = st.floats(min_value=-1e5, max_value=1e5)
+
+
+@st.composite
+def plates(draw):
+    side = draw(sides)
+    n0 = draw(forces)
+    lam = Laminate(paper_membrane_stack())
+    return ClampedSquarePlate(side, lam, residual_force_override_n_per_m=n0)
+
+
+class TestPlateProperties:
+    @given(plates(), pressures, pressures)
+    @settings(max_examples=80, deadline=None)
+    def test_monotonicity(self, plate, p1, p2):
+        lo, hi = sorted((p1, p2))
+        w = plate.center_deflection_m(np.array([lo, hi]))
+        assert w[0] <= w[1] + 1e-18
+
+    @given(plates(), pressures)
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_round_trip(self, plate, p):
+        w = plate.center_deflection_m(p)
+        back = plate.pressure_for_deflection_pa(w)
+        np.testing.assert_allclose(back[0], p, rtol=1e-8, atol=1e-8)
+
+    @given(plates(), st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_odd_symmetry(self, plate, p):
+        w_pos = plate.center_deflection_m(p)[0]
+        w_neg = plate.center_deflection_m(-p)[0]
+        np.testing.assert_allclose(w_neg, -w_pos, rtol=1e-10)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=-1e3, max_value=1e3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cubic_solver_exactness(self, k1, k3, rhs):
+        w = _solve_stiffening_cubic(k1, k3, np.array([rhs]))[0]
+        residual = k3 * w**3 + k1 * w - rhs
+        scale = max(abs(rhs), k1 * abs(w), 1e-12)
+        assert abs(residual) < 1e-7 * scale + 1e-12
+
+
+class TestCapacitorProperties:
+    @given(
+        st.floats(min_value=50e-6, max_value=300e-6),
+        st.floats(min_value=0.2e-6, max_value=2e-6),
+        st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacitance_monotone_in_deflection(self, side, gap, coverage):
+        cap = DeflectedPlateCapacitor(
+            side, gap, electrode_coverage=coverage, grid_points=21
+        )
+        w = np.linspace(-0.5 * gap, 0.9 * gap, 15)
+        c = cap.capacitance_f(w)
+        assert np.all(np.diff(c) > 0)
+
+    @given(
+        st.floats(min_value=50e-6, max_value=300e-6),
+        st.floats(min_value=0.2e-6, max_value=2e-6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacitance_bounded_by_parallel_plates(self, side, gap):
+        """C(w0) lies between the flat-plate value and the plate at the
+        center gap (the deflection profile is between those extremes)."""
+        cap = DeflectedPlateCapacitor(
+            side, gap, electrode_coverage=1.0, fringe_factor=1.0,
+            parasitic_f=0.0, grid_points=21,
+        )
+        w0 = 0.5 * gap
+        c = cap.capacitance_f(w0)[0]
+        c_flat = cap.rest_capacitance_f
+        from repro.mems.capacitor import VACUUM_PERMITTIVITY
+
+        c_center = VACUUM_PERMITTIVITY * side**2 / (gap - w0)
+        assert c_flat < c < c_center

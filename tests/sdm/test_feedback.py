@@ -1,0 +1,65 @@
+"""Feedback DAC with adjustable first-stage capacitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sdm.feedback import FeedbackDAC
+
+
+class TestNominal:
+    def test_levels_symmetric(self):
+        dac = FeedbackDAC()
+        lo, hi = dac.feedback_levels()
+        assert lo == -hi == -1.0
+
+    def test_feedback_value_signs(self):
+        dac = FeedbackDAC()
+        assert dac.feedback_value(1) == 1.0
+        assert dac.feedback_value(-1) == -1.0
+
+    def test_rejects_bad_decision(self):
+        dac = FeedbackDAC()
+        with pytest.raises(ConfigurationError):
+            dac.feedback_value(0)
+
+
+class TestCfbRatio:
+    def test_ratio_scales_b1_only(self):
+        dac = FeedbackDAC(cfb_ratio=0.5)
+        assert dac.coefficients.b1 == pytest.approx(0.25)
+        assert dac.coefficients.b2 == pytest.approx(0.5)
+
+    def test_gain_boost(self):
+        assert FeedbackDAC(cfb_ratio=0.5).conversion_gain_boost == 2.0
+        assert FeedbackDAC(cfb_ratio=2.0).conversion_gain_boost == 0.5
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackDAC(cfb_ratio=0.0)
+
+
+class TestReferenceErrors:
+    def test_static_error_scales_levels(self):
+        dac = FeedbackDAC(reference_error=0.01)
+        assert dac.feedback_value(1) == pytest.approx(1.01)
+
+    def test_reference_noise_needs_rng(self):
+        dac = FeedbackDAC(reference_noise_sigma=1e-4)
+        with pytest.raises(ConfigurationError, match="random"):
+            dac.feedback_value(1)
+
+    def test_reference_noise_applied(self):
+        rng = np.random.default_rng(3)
+        dac = FeedbackDAC(reference_noise_sigma=0.1)
+        values = [dac.feedback_value(1, rng=rng) for _ in range(200)]
+        assert np.std(values) == pytest.approx(0.1, rel=0.25)
+        assert np.mean(values) == pytest.approx(1.0, abs=0.03)
+
+    def test_rejects_large_static_error(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackDAC(reference_error=0.6)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackDAC(reference_noise_sigma=-1e-4)

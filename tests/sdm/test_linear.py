@@ -1,0 +1,121 @@
+"""z-domain NTF/STF analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sdm.linear import LinearLoopModel
+
+FS = 128e3
+
+
+@pytest.fixture(scope="module")
+def model() -> LinearLoopModel:
+    return LinearLoopModel()
+
+
+class TestPoles:
+    def test_nominal_poles(self, model):
+        """Default loop: |poles| = sqrt(0.75)."""
+        assert np.abs(model.poles) == pytest.approx(
+            [np.sqrt(0.75)] * 2, rel=1e-9
+        )
+
+    def test_stable(self, model):
+        assert model.is_stable
+
+    def test_strong_first_feedback_destabilizes(self):
+        from repro.sdm.topology import LoopCoefficients
+
+        hot = LinearLoopModel(LoopCoefficients(b1=1.2))
+        assert not hot.is_stable
+
+
+class TestNTF:
+    def test_null_at_dc(self, model):
+        ntf = model.ntf(np.array([0.0]), FS)
+        assert abs(ntf[0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_40db_per_decade_shaping(self, model):
+        """2nd-order shaping: |NTF| rises 40 dB/decade at low freq."""
+        f = np.array([10.0, 100.0])
+        mag = np.abs(model.ntf(f, FS))
+        slope = 20 * np.log10(mag[1] / mag[0])
+        assert slope == pytest.approx(40.0, abs=1.0)
+
+    def test_out_of_band_gain_moderate(self, model):
+        """Lee-criterion comfort zone for a 2nd-order single-bit loop."""
+        assert 1.0 < model.max_ntf_gain < 4.0
+
+    def test_rejects_beyond_nyquist(self, model):
+        with pytest.raises(ConfigurationError):
+            model.ntf(np.array([FS]), FS)
+
+
+class TestSTF:
+    def test_unity_at_dc(self, model):
+        stf = model.stf(np.array([0.0]), FS)
+        assert abs(stf[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_flat_in_band(self, model):
+        f = np.linspace(0.0, 500.0, 20)
+        mag = np.abs(model.stf(f, FS))
+        assert mag == pytest.approx(np.ones_like(mag), rel=0.01)
+
+
+class TestSQNRPrediction:
+    def test_osr128_exceeds_12bit(self, model):
+        """Quantization-limited SQNR at OSR 128 must beat the 74 dB that
+        12 bits need — the silicon's 12-bit interface is the bottleneck,
+        not the modulator."""
+        assert model.predicted_sqnr_db(128, amplitude=0.8) > 80.0
+
+    def test_slope_15db_per_octave(self, model):
+        slope = model.sqnr_slope_db_per_octave(32, 256)
+        assert slope == pytest.approx(15.0, abs=0.8)
+
+    def test_noise_decreases_with_osr(self, model):
+        n64 = model.inband_quantization_noise_power(64)
+        n128 = model.inband_quantization_noise_power(128)
+        # 2nd-order: noise power ~ OSR^-5 -> factor 32.
+        assert n64 / n128 == pytest.approx(32.0, rel=0.1)
+
+    def test_rejects_bad_osr(self, model):
+        with pytest.raises(ConfigurationError):
+            model.inband_quantization_noise_power(1)
+
+    def test_rejects_bad_amplitude(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predicted_sqnr_db(128, amplitude=0.0)
+
+
+class TestAgainstSimulation:
+    def test_linear_model_is_conservative_bound(self):
+        """The unity-quantizer-gain linear model over-estimates in-band
+        noise for this topology (the D(1) = a2*b1 term amplifies it), so
+        the simulated loop must do *at least* as well as predicted — and
+        not implausibly better (the slope is checked separately)."""
+        from repro.dsp.cic import CICDecimator
+        from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
+        from repro.params import ModulatorParams, NonidealityParams
+        from repro.sdm.modulator import SecondOrderSDM
+
+        model = LinearLoopModel()
+        osr = 64
+        n_out = 2048
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 100, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        sdm = SecondOrderSDM(
+            ModulatorParams(osr=osr), NonidealityParams.ideal()
+        )
+        bits = sdm.simulate(0.5 * np.sin(2 * np.pi * tone * t)).bitstream
+        cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+        vals = (cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain)[
+            16 : 16 + n_out
+        ]
+        measured = analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+        predicted = model.predicted_sqnr_db(osr, amplitude=0.5)
+        assert measured > predicted - 3.0
+        assert measured < predicted + 20.0

@@ -1,0 +1,250 @@
+"""The full second-order modulator: tracking, shaping, non-idealities."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.cic import CICDecimator
+from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
+from repro.errors import ConfigurationError, ModulatorOverloadError
+from repro.params import ModulatorParams, NonidealityParams
+from repro.sdm.feedback import FeedbackDAC
+from repro.sdm.modulator import SecondOrderSDM
+from repro.sdm.topology import LoopCoefficients
+
+
+def ideal_sdm(**kwargs) -> SecondOrderSDM:
+    return SecondOrderSDM(
+        nonideality=NonidealityParams.ideal(),
+        rng=np.random.default_rng(1),
+        **kwargs,
+    )
+
+
+class TestDCTracking:
+    @pytest.mark.parametrize("level", [0.0, 0.3, -0.6, 0.85])
+    def test_bitstream_mean_tracks_dc(self, level):
+        sdm = ideal_sdm()
+        out = sdm.simulate(np.full(20000, level))
+        assert out.mean == pytest.approx(level, abs=0.01)
+
+    def test_sine_mean_near_zero(self):
+        sdm = ideal_sdm()
+        t = np.arange(20000)
+        out = sdm.simulate(0.5 * np.sin(2 * np.pi * 0.01 * t))
+        assert out.mean == pytest.approx(0.0, abs=0.02)
+
+    def test_bitstream_is_pm1(self):
+        sdm = ideal_sdm()
+        out = sdm.simulate(np.zeros(1000))
+        assert set(np.unique(out.bitstream)) <= {-1, 1}
+
+
+class TestNoiseShaping:
+    def test_snr_grows_15db_per_osr_octave(self):
+        """The consequence of 2nd-order shaping: SNR gains ~15 dB per
+        octave of OSR (theory; idle tones make raw PSD slopes flaky, the
+        decimated SNR is the robust observable)."""
+
+        def snr_at_osr(osr: int) -> float:
+            n_out = 1024
+            fs = 128e3
+            out_rate = fs / osr
+            tone = coherent_tone_frequency(out_rate / 64, out_rate, n_out)
+            t = np.arange((n_out + 16) * osr) / fs
+            sdm = ideal_sdm()
+            bits = sdm.simulate(0.5 * np.sin(2 * np.pi * tone * t)).bitstream
+            cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+            vals = (
+                cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+            )[16 : 16 + n_out]
+            return analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+
+        gain_db = snr_at_osr(128) - snr_at_osr(32)
+        per_octave = gain_db / 2.0
+        assert per_octave == pytest.approx(15.0, abs=3.5)
+
+    def test_snr_at_osr128_exceeds_80db_ideal(self):
+        osr, n_out = 128, 2048
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(15.625, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        sdm = ideal_sdm()
+        bits = sdm.simulate(0.8 * np.sin(2 * np.pi * tone * t)).bitstream
+        cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+        vals = (
+            cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+        )[16 : 16 + n_out]
+        a = analyze_tone(vals, out_rate, tone_hz=tone, max_band_hz=500.0)
+        assert a.snr_db > 80.0
+
+
+class TestOverload:
+    def test_full_scale_dc_clips(self):
+        sdm = ideal_sdm()
+        out = sdm.simulate(np.full(5000, 1.5))
+        assert out.clipped_samples > 0
+
+    def test_raise_policy(self):
+        sdm = ideal_sdm()
+        with pytest.raises(ModulatorOverloadError) as err:
+            sdm.simulate(np.full(5000, 1.5), overload_policy="raise")
+        assert err.value.sample_index >= 0
+
+    def test_stable_amplitude_does_not_clip(self):
+        sdm = ideal_sdm()
+        t = np.arange(30000)
+        out = sdm.simulate(0.75 * np.sin(2 * np.pi * 0.003 * t))
+        assert out.clipped_samples == 0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ideal_sdm().simulate(np.zeros(10), overload_policy="explode")
+
+    def test_recommended_amplitude_below_full_scale(self):
+        sdm = ideal_sdm()
+        assert sdm.recommended_max_amplitude == pytest.approx(
+            0.75 * sdm.input_full_scale
+        )
+
+
+class TestStreaming:
+    def test_chunked_equals_monolithic_ideal(self):
+        """With deterministic (ideal) settings, chunked simulation must be
+        bit-identical to one call."""
+        u = 0.5 * np.sin(2 * np.pi * 0.001 * np.arange(10000))
+        a = ideal_sdm().simulate(u).bitstream
+        sdm = ideal_sdm()
+        b = np.concatenate(
+            [sdm.simulate(u[:3000]).bitstream, sdm.simulate(u[3000:]).bitstream]
+        )
+        assert np.array_equal(a, b)
+
+    def test_reset_reproduces(self):
+        u = 0.3 * np.sin(2 * np.pi * 0.002 * np.arange(5000))
+        sdm = ideal_sdm()
+        a = sdm.simulate(u).bitstream
+        sdm.reset()
+        b = sdm.simulate(u).bitstream
+        assert np.array_equal(a, b)
+
+    def test_empty_input(self):
+        out = ideal_sdm().simulate(np.zeros(0))
+        assert out.bitstream.size == 0
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            ideal_sdm().simulate(np.zeros((10, 2)))
+
+
+class TestStateRecording:
+    def test_states_recorded(self):
+        sdm = ideal_sdm()
+        out = sdm.simulate(np.zeros(100), record_states=True)
+        assert out.states.shape == (100, 2)
+        assert np.all(np.abs(out.states) <= 3.0)
+
+    def test_states_none_by_default(self):
+        out = ideal_sdm().simulate(np.zeros(10))
+        assert out.states is None
+
+
+class TestNonidealities:
+    def test_noise_raises_floor(self):
+        """Thermal noise must degrade SNR vs the ideal loop."""
+        osr, n_out = 64, 1024
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 50, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        u = 0.5 * np.sin(2 * np.pi * tone * t)
+
+        def snr_with(ni):
+            sdm = SecondOrderSDM(
+                ModulatorParams(osr=osr), ni, rng=np.random.default_rng(5)
+            )
+            bits = sdm.simulate(u).bitstream
+            cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+            vals = (
+                cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+            )[16 : 16 + n_out]
+            return analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+
+        noisy = NonidealityParams(sampling_cap_f=1e-15, clock_jitter_s=0.0)
+        assert snr_with(noisy) < snr_with(NonidealityParams.ideal()) - 6.0
+
+    def test_low_opamp_gain_degrades(self):
+        """Leaky integrators raise in-band noise once A ~ OSR."""
+        osr, n_out = 128, 1024
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 50, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        u = 0.5 * np.sin(2 * np.pi * tone * t)
+
+        def snr_with_gain(gain):
+            ni = NonidealityParams(
+                sampling_cap_f=1e-12,
+                opamp_gain=gain,
+                clock_jitter_s=0.0,
+            )
+            sdm = SecondOrderSDM(
+                ModulatorParams(osr=osr), ni, rng=np.random.default_rng(6)
+            )
+            bits = sdm.simulate(u).bitstream
+            cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+            vals = (
+                cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+            )[16 : 16 + n_out]
+            return analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+
+        assert snr_with_gain(30.0) < snr_with_gain(1e6) - 3.0
+
+    def test_comparator_offset_mostly_harmless(self):
+        """A 10 mV comparator offset is noise-shaped: <2 dB SNR cost."""
+        osr, n_out = 64, 1024
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 50, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        u = 0.5 * np.sin(2 * np.pi * tone * t)
+
+        def snr_with_offset(off):
+            ni = NonidealityParams(
+                sampling_cap_f=1e-9,  # negligible thermal noise
+                opamp_gain=1e12,
+                comparator_offset_v=off,
+                clock_jitter_s=0.0,
+            )
+            sdm = SecondOrderSDM(
+                ModulatorParams(osr=osr), ni, rng=np.random.default_rng(7)
+            )
+            bits = sdm.simulate(u).bitstream
+            cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+            vals = (
+                cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+            )[16 : 16 + n_out]
+            return analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+
+        assert snr_with_offset(0.01) > snr_with_offset(0.0) - 2.0
+
+
+class TestConfiguration:
+    def test_dac_and_coefficients_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            SecondOrderSDM(
+                coefficients=LoopCoefficients.boser_wooley(),
+                dac=FeedbackDAC(),
+            )
+
+    def test_dac_cfb_changes_full_scale(self):
+        sdm = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            dac=FeedbackDAC(cfb_ratio=0.5),
+        )
+        assert sdm.input_full_scale == pytest.approx(0.5)
+
+    def test_describe(self):
+        text = SecondOrderSDM().describe()
+        assert "OSR" in text
+        assert "full scale" in text

@@ -1,0 +1,168 @@
+"""Multi-bit quantizer, thermometer DAC, DWA shaping."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.cic import CICDecimator
+from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
+from repro.errors import ConfigurationError
+from repro.sdm.multibit import MultibitQuantizer, MultibitSDM, ThermometerDAC
+
+
+class TestQuantizer:
+    def test_level_count(self):
+        q = MultibitQuantizer(bits=3)
+        assert q.n_levels == 8
+
+    def test_extremes(self):
+        q = MultibitQuantizer(bits=3)
+        assert q.quantize(-10.0) == 0
+        assert q.quantize(10.0) == 7
+
+    def test_monotone(self):
+        q = MultibitQuantizer(bits=3)
+        codes = [q.quantize(v) for v in np.linspace(-1, 1, 41)]
+        assert codes == sorted(codes)
+
+    def test_level_values_span(self):
+        q = MultibitQuantizer(bits=2)
+        values = [q.level_value(i) for i in range(4)]
+        assert values[0] == pytest.approx(-1.0)
+        assert values[-1] == pytest.approx(1.0)
+        assert values == pytest.approx([-1.0, -1 / 3, 1 / 3, 1.0])
+
+    def test_quantize_reconstruct_error(self):
+        q = MultibitQuantizer(bits=4)
+        for v in np.linspace(-0.99, 0.99, 37):
+            err = abs(q.level_value(q.quantize(v)) - v)
+            assert err <= q.step / 2 + 1e-12
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            MultibitQuantizer(bits=0)
+        with pytest.raises(ConfigurationError):
+            MultibitQuantizer(bits=7)
+
+
+class TestThermometerDAC:
+    def test_ideal_endpoints(self):
+        dac = ThermometerDAC(n_elements=7, mismatch_sigma=0.0)
+        assert dac.convert(0) == pytest.approx(-1.0)
+        assert dac.convert(7) == pytest.approx(1.0)
+
+    def test_ideal_midpoint(self):
+        dac = ThermometerDAC(n_elements=8, mismatch_sigma=0.0)
+        assert dac.convert(4) == pytest.approx(0.0)
+
+    def test_mismatch_preserves_full_scale(self):
+        """Normalization makes the all-elements-on value exact."""
+        dac = ThermometerDAC(
+            n_elements=7, mismatch_sigma=0.02,
+            rng=np.random.default_rng(5),
+        )
+        assert dac.convert(7) == pytest.approx(1.0, abs=1e-12)
+
+    def test_fixed_selection_code_dependent_error(self):
+        dac = ThermometerDAC(
+            n_elements=7, mismatch_sigma=0.02, selection="fixed",
+            rng=np.random.default_rng(6),
+        )
+        # Same code always gives the same (possibly wrong) value.
+        assert dac.convert(3) == dac.convert(3)
+
+    def test_dwa_rotates(self):
+        dac = ThermometerDAC(
+            n_elements=7, mismatch_sigma=0.05, selection="dwa",
+            rng=np.random.default_rng(7),
+        )
+        # Same code gives different values as the pointer rotates
+        # (averaging the mismatch over time).
+        values = {round(dac.convert(3), 12) for _ in range(7)}
+        assert len(values) > 1
+
+    def test_dwa_long_run_average_is_nominal(self):
+        dac = ThermometerDAC(
+            n_elements=7, mismatch_sigma=0.05, selection="dwa",
+            rng=np.random.default_rng(8),
+        )
+        values = [dac.convert(3) for _ in range(700)]
+        nominal = 2.0 * 3 / 7 - 1.0
+        assert np.mean(values) == pytest.approx(nominal, abs=1e-3)
+
+    def test_rejects_bad_selection(self):
+        with pytest.raises(ConfigurationError):
+            ThermometerDAC(n_elements=7, selection="random")
+
+    def test_rejects_out_of_range_code(self):
+        dac = ThermometerDAC(n_elements=7)
+        with pytest.raises(ConfigurationError):
+            dac.convert(8)
+
+
+class TestMultibitSDM:
+    def _snr(self, sdm, amplitude=0.9, osr=64, n_out=1024):
+        fs = 128e3
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 64, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        out = sdm.simulate(amplitude * np.sin(2 * np.pi * tone * t))
+        cic = CICDecimator(order=3, decimation=osr, input_bits=16)
+        # 896 = 128 * 7 maps the 3-bit DAC grid to exact integers.
+        scaled = np.round(out.values * 896).astype(np.int64)
+        vals = (cic.process(scaled).astype(float) / (cic.dc_gain * 896))[
+            16 : 16 + n_out
+        ]
+        return analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+
+    def test_multibit_beats_single_bit_sqnr(self):
+        from repro.params import ModulatorParams, NonidealityParams
+        from repro.sdm.modulator import SecondOrderSDM
+
+        mb = MultibitSDM(ModulatorParams(osr=64), quantizer_bits=3)
+        snr_mb = self._snr(mb)
+        sb = SecondOrderSDM(
+            ModulatorParams(osr=64), NonidealityParams.ideal()
+        )
+        fs, osr, n_out = 128e3, 64, 1024
+        out_rate = fs / osr
+        tone = coherent_tone_frequency(out_rate / 64, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        bits = sb.simulate(0.75 * np.sin(2 * np.pi * tone * t)).bitstream
+        cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+        vals = (cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain)[
+            16 : 16 + n_out
+        ]
+        snr_sb = analyze_tone(vals, out_rate, tone_hz=tone).snr_db
+        assert snr_mb > snr_sb + 3.0
+
+    def test_dwa_recovers_mismatch_loss(self):
+        from repro.params import ModulatorParams
+
+        fixed = MultibitSDM(
+            ModulatorParams(osr=64), quantizer_bits=3,
+            dac_mismatch_sigma=0.005, dac_selection="fixed",
+            rng=np.random.default_rng(10),
+        )
+        dwa = MultibitSDM(
+            ModulatorParams(osr=64), quantizer_bits=3,
+            dac_mismatch_sigma=0.005, dac_selection="dwa",
+            rng=np.random.default_rng(10),
+        )
+        assert self._snr(dwa) > self._snr(fixed) + 5.0
+
+    def test_stable_near_full_scale(self):
+        mb = MultibitSDM(quantizer_bits=3)
+        t = np.arange(20000)
+        out = mb.simulate(0.9 * np.sin(2 * np.pi * 0.003 * t))
+        assert out.clipped_samples == 0
+
+    def test_codes_in_range(self):
+        mb = MultibitSDM(quantizer_bits=3)
+        out = mb.simulate(np.zeros(1000))
+        assert out.codes.min() >= 0
+        assert out.codes.max() <= 7
+
+    def test_dc_tracking(self):
+        mb = MultibitSDM(quantizer_bits=3)
+        out = mb.simulate(np.full(20000, 0.4))
+        assert out.values[200:].mean() == pytest.approx(0.4, abs=0.01)

@@ -1,0 +1,50 @@
+"""Loop coefficients and stability screening."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sdm.topology import LoopCoefficients
+
+
+class TestCoefficients:
+    def test_boser_wooley_defaults(self):
+        c = LoopCoefficients.boser_wooley()
+        assert (c.a1, c.a2, c.b1, c.b2) == (0.5, 0.5, 0.5, 0.5)
+
+    def test_input_full_scale(self):
+        assert LoopCoefficients.boser_wooley().input_full_scale == 1.0
+        assert LoopCoefficients(a1=0.25, b1=0.5).input_full_scale == 2.0
+
+    def test_with_feedback_ratio(self):
+        c = LoopCoefficients.boser_wooley().with_feedback_ratio(0.5)
+        assert c.b1 == pytest.approx(0.25)
+        assert c.b2 == 0.5  # second stage untouched
+        assert c.a1 == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            LoopCoefficients(a1=0.0)
+        with pytest.raises(ConfigurationError):
+            LoopCoefficients.boser_wooley().with_feedback_ratio(0.0)
+
+
+class TestStabilityScreen:
+    def test_nominal_loop_stable_at_half_scale(self):
+        assert LoopCoefficients.boser_wooley().stability_margin(0.5)
+
+    def test_nominal_loop_stable_at_point8(self):
+        assert LoopCoefficients.boser_wooley().stability_margin(0.8)
+
+    def test_overdriven_loop_flagged(self):
+        """Input beyond the feedback strength must destabilize."""
+        assert not LoopCoefficients.boser_wooley().stability_margin(1.3)
+
+    def test_weak_feedback_unstable_sooner(self):
+        weak = LoopCoefficients.boser_wooley().with_feedback_ratio(0.3)
+        # Full scale shrinks to 0.3; 0.5 amplitude overdrives it.
+        assert not weak.stability_margin(0.5)
+        assert weak.stability_margin(0.15)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            LoopCoefficients.boser_wooley().stability_margin(-0.1)

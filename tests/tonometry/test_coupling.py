@@ -1,0 +1,109 @@
+"""End-to-end tonometric coupling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mems.geometry import ArrayGeometry
+from repro.params import ArrayParams, PASCAL_PER_MMHG
+from repro.tonometry.contact import ContactModel
+from repro.tonometry.coupling import TonometricCoupling
+from repro.tonometry.placement import ArrayPlacement
+
+
+@pytest.fixture(scope="module")
+def coupling() -> TonometricCoupling:
+    return TonometricCoupling(
+        ArrayGeometry(ArrayParams()),
+        ContactModel(),
+        contact_heterogeneity=0.0,
+    )
+
+
+class TestPressureField:
+    def test_shape(self, coupling):
+        arterial = np.full(100, coupling.contact.map_pa)
+        field = coupling.element_pressures_pa(arterial)
+        assert field.shape == (100, 4)
+
+    def test_at_map_field_is_static(self, coupling):
+        arterial = np.full(50, coupling.contact.map_pa)
+        field = coupling.element_pressures_pa(arterial)
+        state = coupling.contact.state()
+        assert field == pytest.approx(
+            state.static_membrane_pressure_pa * np.ones_like(field)
+        )
+
+    def test_pulsatile_component_scales_with_gain(self, coupling):
+        delta = 1000.0
+        arterial = coupling.contact.map_pa + np.array([0.0, delta])
+        field = coupling.element_pressures_pa(arterial)
+        gains = coupling.effective_gain()
+        swing = field[1] - field[0]
+        assert swing == pytest.approx(gains * delta)
+
+    def test_rejects_2d_input(self, coupling):
+        with pytest.raises(ConfigurationError):
+            coupling.element_pressures_pa(np.zeros((10, 2)))
+
+    def test_hold_down_override(self, coupling):
+        arterial = np.full(10, coupling.contact.map_pa + 1000.0)
+        strong = coupling.element_pressures_pa(
+            arterial, hold_down_pa=coupling.contact.optimal_hold_down_pa
+        )
+        weak = coupling.element_pressures_pa(arterial, hold_down_pa=500.0)
+        # Weak hold-down: less static pressure and less pulse.
+        assert weak.mean() < strong.mean()
+
+
+class TestHeterogeneity:
+    def test_zero_heterogeneity_uniform(self, coupling):
+        assert coupling.contact_quality == pytest.approx(np.ones(4))
+
+    def test_heterogeneity_differentiates_elements(self):
+        het = TonometricCoupling(
+            ArrayGeometry(ArrayParams()),
+            ContactModel(),
+            contact_heterogeneity=0.3,
+            rng=np.random.default_rng(8),
+        )
+        assert het.contact_quality.std() > 0.01
+        assert np.all(het.contact_quality <= 1.0)
+        assert np.all(het.contact_quality >= 0.0)
+
+    def test_reproducible_draw(self):
+        a = TonometricCoupling(
+            ArrayGeometry(ArrayParams()), ContactModel(),
+            rng=np.random.default_rng(5),
+        )
+        b = TonometricCoupling(
+            ArrayGeometry(ArrayParams()), ContactModel(),
+            rng=np.random.default_rng(5),
+        )
+        assert a.contact_quality == pytest.approx(b.contact_quality)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            TonometricCoupling(
+                ArrayGeometry(ArrayParams()),
+                ContactModel(),
+                contact_heterogeneity=-0.1,
+            )
+
+
+class TestPlacementTransfer:
+    def test_with_placement_preserves_quality_draw(self):
+        base = TonometricCoupling(
+            ArrayGeometry(ArrayParams()), ContactModel(),
+            contact_heterogeneity=0.3, rng=np.random.default_rng(9),
+        )
+        moved = base.with_placement(ArrayPlacement(lateral_offset_m=1e-3))
+        assert moved.contact_quality == pytest.approx(base.contact_quality)
+        assert moved.placement.lateral_offset_m == 1e-3
+
+    def test_offset_reduces_gain(self, coupling):
+        centered = coupling.effective_gain()
+        moved = coupling.with_placement(
+            ArrayPlacement(lateral_offset_m=4e-3)
+        ).effective_gain()
+        assert np.all(moved < centered)
