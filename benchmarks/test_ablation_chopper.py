@@ -6,7 +6,7 @@ the amplifier's low-frequency noise moves out of band.
 """
 
 import numpy as np
-from conftest import print_rows, run_once
+from conftest import print_rows
 
 from repro.dsp.cic import CICDecimator
 from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency

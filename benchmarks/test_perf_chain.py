@@ -1,0 +1,89 @@
+"""PERF bench: fast backend vs reference loop on a 1 s acquisition.
+
+Times the full ΣΔ→CIC→FIR chain over one second of modulator clocks
+(128k samples, the paper's real-time unit of work) in both backends,
+checks the fast path is bit-identical under ideal non-idealities, and
+writes the measured throughput to ``BENCH_chain.json`` at the repo root
+so CI and later sessions can track regressions.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_rows
+
+from repro.core.chain import ReadoutChain
+from repro.params import NonidealityParams, SystemParams
+from repro.sdm.fastpath import kernel_available
+
+N_MOD = 128_000  # 1 s at the paper's 128 kS/s modulator clock
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_chain.json"
+
+
+def make_chain(backend: str) -> ReadoutChain:
+    params = SystemParams().replace(nonideality=NonidealityParams.ideal())
+    return ReadoutChain(params, rng=np.random.default_rng(77), backend=backend)
+
+
+def one_second_input() -> np.ndarray:
+    t = np.arange(N_MOD) / 128e3
+    return 0.5 * 2.5 * np.sin(2 * np.pi * 15.625 * t)
+
+
+def timed_acquisition(backend: str, v: np.ndarray):
+    chain = make_chain(backend)
+    start = time.perf_counter()
+    rec = chain.record_voltage(v)
+    elapsed = time.perf_counter() - start
+    return rec, elapsed
+
+
+def test_perf_chain(benchmark):
+    v = one_second_input()
+    # Warm-up compiles the kernel outside the timed region.
+    make_chain("fast").record_voltage(v[:1280])
+
+    rec_ref, t_ref = timed_acquisition("reference", v)
+    rec_fast, t_fast = benchmark.pedantic(
+        timed_acquisition, args=("fast", v), rounds=1, iterations=1
+    )
+    speedup = t_ref / t_fast
+
+    assert np.array_equal(rec_ref.codes, rec_fast.codes)
+    assert rec_ref.lost_frames == rec_fast.lost_frames == 0
+
+    report = {
+        "n_modulator_samples": N_MOD,
+        "kernel_available": kernel_available(),
+        "reference_seconds": t_ref,
+        "fast_seconds": t_fast,
+        "reference_msps": N_MOD / t_ref / 1e6,
+        "fast_msps": N_MOD / t_fast / 1e6,
+        "speedup": speedup,
+        "bit_identical": True,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print_rows(
+        "PERF — 1 s acquisition through the full chain",
+        [
+            ("reference [s]", "(cycle-accurate loop)", f"{t_ref:.3f}"),
+            ("fast [s]", "(compiled kernel)", f"{t_fast:.3f}"),
+            (
+                "throughput [MS/s]",
+                ">= 0.128 for real time",
+                f"{N_MOD / t_fast / 1e6:.1f}",
+            ),
+            ("speedup", ">= 10x (kernel)", f"{speedup:.1f}x"),
+            ("bit-identical", "yes", "yes"),
+        ],
+    )
+
+    # The fast path must beat real time regardless of the kernel; the
+    # 10x acceptance floor applies when a C compiler is present.
+    assert t_fast < 1.0
+    if kernel_available():
+        assert speedup >= 10.0

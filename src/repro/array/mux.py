@@ -119,6 +119,43 @@ class AnalogMultiplexer:
             self._just_switched = False
         return caps
 
+    def scan_routed_capacitance_f(
+        self, element_pressures_pa: np.ndarray, dwell_samples: int
+    ) -> np.ndarray:
+        """Routed capacitance for a whole row-major scan, one call.
+
+        Splits the pressure field into per-element dwell segments (row k
+        covers samples ``[k*dwell, (k+1)*dwell)`` routed from element k)
+        and returns them as a ``(n_elements, dwell_samples)`` matrix —
+        the batched equivalent of selecting each element in turn and
+        calling :meth:`routed_capacitance_f` on its segment. The switch
+        charge-injection glitch lands on each segment's first sample,
+        except for an element already selected when the scan starts
+        (matching the sequential path, where re-selecting the current
+        element injects nothing). Afterwards the last element is left
+        selected, as after a sequential scan.
+        """
+        pressures = np.asarray(element_pressures_pa, dtype=float)
+        n_elements = self.array.n_elements
+        if pressures.ndim != 2 or pressures.shape[1] != n_elements:
+            raise ConfigurationError("expected shape (n_samples, n_elements)")
+        if dwell_samples < 1:
+            raise ConfigurationError("dwell must be >= 1 sample")
+        if pressures.shape[0] < dwell_samples * n_elements:
+            raise ConfigurationError("pressure field too short for the scan")
+        caps = np.empty((n_elements, dwell_samples))
+        current = self._selected
+        for k in range(n_elements):
+            segment = pressures[k * dwell_samples : (k + 1) * dwell_samples]
+            caps[k] = self.array.elements[k].capacitance_f(segment[:, k])
+            if k != current or self._just_switched:
+                caps[k, 0] += self.charge_injection_c / 2.5
+                self._just_switched = False
+            current = k
+        self._selected = n_elements - 1
+        self._just_switched = False
+        return caps
+
 
 @dataclass(frozen=True)
 class MuxTimingAnalysis:

@@ -132,6 +132,46 @@ class ScanController:
             contrast=contrast,
         )
 
+    def scan_and_select(
+        self,
+        chain,
+        element_pressures_pa: np.ndarray,
+        dwell_s: float = 1.5,
+        metric: str = "peak_to_peak",
+        batched: bool = True,
+        settle_words: int | None = None,
+    ) -> ElementSelection:
+        """Drive a full scan through a readout chain and pick the winner.
+
+        Sequences the chain through every element
+        (:meth:`~repro.core.chain.ReadoutChain.scan_elements`, batched
+        through the modulator fast path by default), drops the
+        filter-flush words at the start of the common record, and feeds
+        the settled signals to :meth:`select_strongest`.
+
+        Parameters
+        ----------
+        chain:
+            A :class:`~repro.core.chain.ReadoutChain` built on the same
+            array this controller's multiplexer drives.
+        element_pressures_pa:
+            (n_mod_samples, n_elements) membrane-pressure field covering
+            at least ``n_elements * dwell_s`` of modulator clocks.
+        dwell_s:
+            Seconds spent on each element.
+        batched:
+            Convert all elements through one batched modulator call.
+        settle_words:
+            Output words discarded before the amplitude metric; defaults
+            to this controller's ``discard_samples``.
+        """
+        records = chain.scan_elements(
+            element_pressures_pa, dwell_s=dwell_s, batched=batched
+        )
+        drop = self.discard_samples if settle_words is None else int(settle_words)
+        settled = records[drop:]
+        return self.select_strongest(settled, metric=metric)
+
     def localize_source(
         self, element_signals: np.ndarray
     ) -> tuple[float, float]:

@@ -15,7 +15,7 @@ import numpy as np
 from scipy import signal
 
 from ..errors import ConfigurationError, SignalQualityError
-from .features import BeatFeatures, detect_beats, lowpass_cardiac
+from .features import detect_beats, lowpass_cardiac
 
 
 @dataclass(frozen=True)

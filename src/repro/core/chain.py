@@ -54,6 +54,9 @@ class ReadoutChain:
         consistently from them.
     chip:
         Optional pre-built chip (to share one chip across experiments).
+    backend:
+        Modulator simulation backend, ``"fast"`` (default) or
+        ``"reference"``; ignored when a pre-built ``chip`` is passed.
     """
 
     def __init__(
@@ -61,9 +64,10 @@ class ReadoutChain:
         params: SystemParams | None = None,
         chip: SensorChip | None = None,
         rng: np.random.Generator | None = None,
+        backend: str = "fast",
     ):
         self.params = params or SystemParams()
-        self.chip = chip or SensorChip(self.params, rng=rng)
+        self.chip = chip or SensorChip(self.params, rng=rng, backend=backend)
         self.fpga = FPGAFilterBank(
             params=self.params.decimation,
             input_rate_hz=self.params.modulator.sampling_rate_hz,
@@ -125,12 +129,21 @@ class ReadoutChain:
         self,
         element_pressures_pa: np.ndarray,
         dwell_s: float = 2.0,
+        batched: bool = False,
     ) -> np.ndarray:
         """Visit every element for ``dwell_s`` and return their records.
 
         Returns (n_words, n_elements) decimated values — the input to
         strongest-element selection. The pressure field must be long
         enough for ``n_elements * dwell_s``.
+
+        ``batched=True`` converts all elements' dwell segments through
+        one batched modulator call
+        (:meth:`~repro.core.chip.SensorChip.acquire_pressure_scan`)
+        instead of visiting them sequentially. Each segment then starts
+        from the modulator's pre-scan state instead of the previous
+        element's final state; the difference is confined to the
+        post-switch words the FPGA already suppresses.
         """
         pressures = np.asarray(element_pressures_pa, dtype=float)
         n_elements = self.chip.array.n_elements
@@ -141,9 +154,19 @@ class ReadoutChain:
                 "pressure field too short for the requested scan"
             )
         records = []
-        for k in range(n_elements):
-            chunk = pressures[k * dwell_mod : (k + 1) * dwell_mod]
-            rec = self.record_pressure(chunk, element=k)
-            records.append(rec.values)
+        if batched:
+            mod_outs = self.chip.acquire_pressure_scan(
+                pressures[: dwell_mod * n_elements], dwell_mod
+            )
+            for k, mod_out in enumerate(mod_outs):
+                self.fpga.select_element(k)
+                payload = self.fpga.process(mod_out.bitstream.astype(np.int64))
+                payload += self.fpga.finish()
+                records.append(self._collect(payload, k).values)
+        else:
+            for k in range(n_elements):
+                chunk = pressures[k * dwell_mod : (k + 1) * dwell_mod]
+                rec = self.record_pressure(chunk, element=k)
+                records.append(rec.values)
         n = min(r.size for r in records)
         return np.column_stack([r[:n] for r in records])

@@ -32,12 +32,17 @@ class SensorChip:
         :func:`repro.params.paper_defaults`).
     rng:
         Randomness for mismatch and analog noise; seeded default.
+    backend:
+        Modulator simulation backend, ``"fast"`` (default) or
+        ``"reference"`` — see
+        :class:`~repro.sdm.modulator.SecondOrderSDM`.
     """
 
     def __init__(
         self,
         params: SystemParams | None = None,
         rng: np.random.Generator | None = None,
+        backend: str = "fast",
     ):
         self.params = params or SystemParams()
         rng = rng or np.random.default_rng(1958)
@@ -53,6 +58,7 @@ class SensorChip:
             params=self.params.modulator,
             nonideality=self.params.nonideality,
             rng=rng,
+            backend=backend,
         )
 
     # -- element selection -------------------------------------------------
@@ -92,6 +98,28 @@ class SensorChip:
         caps = self.mux.routed_capacitance_f(pressures)
         u = self.frontend.loop_input(caps)
         return self.modulator.simulate(u)
+
+    def acquire_pressure_scan(
+        self, element_pressures_pa: np.ndarray, dwell_samples: int
+    ) -> list[ModulatorOutput]:
+        """Convert a whole row-major scan in one batched modulator call.
+
+        The batched counterpart of selecting each element and calling
+        :meth:`acquire_pressure` on its dwell segment: element k converts
+        samples ``[k*dwell, (k+1)*dwell)`` of the field. Each segment
+        runs from the modulator's current analog state (a bank of
+        matched modulators converting in parallel) rather than
+        continuing the previous element's state, which only perturbs the
+        post-switch transient that the decimation filter flushes anyway.
+        """
+        pressures = np.asarray(element_pressures_pa, dtype=float)
+        if pressures.ndim != 2:
+            raise ConfigurationError(
+                "expected (n_samples, n_elements) pressures"
+            )
+        caps = self.mux.scan_routed_capacitance_f(pressures, dwell_samples)
+        u = self.frontend.loop_input(caps)
+        return self.modulator.simulate_batch(u)
 
     def acquire_voltage(
         self, differential_voltage_v: np.ndarray

@@ -163,18 +163,22 @@ class BloodPressureMonitor:
         return self.coupling.element_pressures_pa(arterial_pa)
 
     def scan(
-        self, recording: PatientRecording, dwell_s: float = 1.5
+        self,
+        recording: PatientRecording,
+        dwell_s: float = 1.5,
+        batched: bool = False,
     ) -> ElementSelection:
         """Visit every element and select the strongest one."""
         n_elements = self.chain.chip.array.n_elements
         field = self._pressure_field(
             recording, 0.0, dwell_s * n_elements
         )
-        records = self.chain.scan_elements(field, dwell_s=dwell_s)
         controller = ScanController(self.chain.chip.mux)
-        # Drop the filter-flush words at the start of each dwell.
-        settled = records[8:]
-        return controller.select_strongest(settled)
+        # Drop the filter-flush words at the start of the record.
+        return controller.scan_and_select(
+            self.chain, field, dwell_s=dwell_s, batched=batched,
+            settle_words=8,
+        )
 
     def measure(
         self,

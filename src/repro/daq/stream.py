@@ -2,12 +2,17 @@
 
 Collects decoded frames into per-element contiguous sample streams with
 gap accounting — what the PC software behind the paper's USB interface
-has to do before any waveform processing.
+has to do before any waveform processing. Frame sequence numbers are
+tracked across ingest calls, so frames lost on the link (detected by
+:class:`~repro.daq.usb.FrameDecoder` as sequence jumps) show up here as
+explicit per-element gaps rather than silently shortened, mis-timestamped
+records.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -15,8 +20,31 @@ from ..errors import ConfigurationError
 from .usb import Frame
 
 
+@dataclass(frozen=True)
+class StreamGap:
+    """One detected loss of frames within an element's stream.
+
+    Attributes
+    ----------
+    sample_index:
+        Position in the element's *received* sample record where the
+        missing samples belong (samples ``[sample_index:]`` arrived
+        after the loss).
+    lost_frames:
+        Number of frames the sequence numbers say went missing.
+    lost_samples:
+        Estimated missing sample count: lost frames times the payload
+        size of the frame that followed the gap (frames in a stream are
+        fixed-size except the final flush, so this is exact in practice).
+    """
+
+    sample_index: int
+    lost_frames: int
+    lost_samples: int
+
+
 class SampleStream:
-    """Per-element reassembled sample streams.
+    """Per-element reassembled sample streams with gap accounting.
 
     Parameters
     ----------
@@ -31,10 +59,32 @@ class SampleStream:
         self.sample_rate_hz = float(sample_rate_hz)
         self._chunks: dict[int, list[np.ndarray]] = defaultdict(list)
         self._counts: dict[int, int] = defaultdict(int)
+        self._gaps: dict[int, list[StreamGap]] = defaultdict(list)
+        self._expected_seq: int | None = None
 
     def ingest(self, frames: list[Frame]) -> None:
-        """Append decoded frames to their element streams."""
+        """Append decoded frames to their element streams.
+
+        Frame sequence numbers are checked across calls; a jump of k
+        means k frames were lost on the link, recorded as a
+        :class:`StreamGap` against the element of the first frame that
+        arrived after the loss (the lost frames' own element tags are
+        gone with them).
+        """
         for frame in frames:
+            if (
+                self._expected_seq is not None
+                and frame.sequence != self._expected_seq
+            ):
+                lost = (frame.sequence - self._expected_seq) & 0xFFFF
+                self._gaps[frame.element].append(
+                    StreamGap(
+                        sample_index=self._counts[frame.element],
+                        lost_frames=lost,
+                        lost_samples=lost * frame.samples.size,
+                    )
+                )
+            self._expected_seq = (frame.sequence + 1) & 0xFFFF
             self._chunks[frame.element].append(frame.samples)
             self._counts[frame.element] += frame.samples.size
 
@@ -46,15 +96,60 @@ class SampleStream:
         return self._counts.get(element, 0)
 
     def samples(self, element: int) -> np.ndarray:
-        """Contiguous int16 record for one element."""
+        """Contiguous int16 record of the *received* samples."""
         chunks = self._chunks.get(element)
         if not chunks:
             return np.zeros(0, dtype=np.int16)
         return np.concatenate(chunks)
 
+    # -- gap accounting ------------------------------------------------------
+
+    def gaps(self, element: int) -> tuple[StreamGap, ...]:
+        """Detected frame-loss gaps in one element's stream, in order."""
+        return tuple(self._gaps.get(element, ()))
+
+    def lost_samples(self, element: int) -> int:
+        """Estimated samples lost to dropped frames for one element."""
+        return sum(g.lost_samples for g in self._gaps.get(element, ()))
+
+    def zero_filled(self, element: int) -> tuple[np.ndarray, np.ndarray]:
+        """Gap-repaired record: ``(samples, valid_mask)``.
+
+        Missing stretches are zero-filled and flagged False in the mask,
+        so downstream processing can interpolate or excise them instead
+        of silently concatenating across the loss.
+        """
+        received = self.samples(element)
+        gaps = self._gaps.get(element)
+        if not gaps:
+            return received, np.ones(received.size, dtype=bool)
+        total = received.size + sum(g.lost_samples for g in gaps)
+        out = np.zeros(total, dtype=received.dtype)
+        mask = np.zeros(total, dtype=bool)
+        src = 0
+        dst = 0
+        for gap in gaps:
+            take = gap.sample_index - src
+            out[dst : dst + take] = received[src : src + take]
+            mask[dst : dst + take] = True
+            src += take
+            dst += take + gap.lost_samples
+        out[dst:] = received[src:]
+        mask[dst:] = True
+        return out, mask
+
     def timestamps_s(self, element: int) -> np.ndarray:
-        """Sample times assuming gap-free delivery."""
-        return np.arange(self.sample_count(element)) / self.sample_rate_hz
+        """Sample times of the received samples, honouring gaps.
+
+        Samples that arrived after a detected frame loss are shifted
+        late by the estimated lost-sample count, so timestamps stay
+        aligned with acquisition time instead of pretending delivery was
+        gap-free.
+        """
+        t = np.arange(self.sample_count(element), dtype=float)
+        for gap in self._gaps.get(element, ()):
+            t[gap.sample_index :] += gap.lost_samples
+        return t / self.sample_rate_hz
 
     def as_matrix(self) -> np.ndarray:
         """(n_samples, n_elements) matrix over the common sample count.
@@ -69,4 +164,6 @@ class SampleStream:
         return np.column_stack([self.samples(e)[:n] for e in elements])
 
     def duration_s(self, element: int) -> float:
-        return self.sample_count(element) / self.sample_rate_hz
+        """Wall-clock span of one element's record, including gap time."""
+        n = self.sample_count(element) + self.lost_samples(element)
+        return n / self.sample_rate_hz

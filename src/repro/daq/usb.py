@@ -87,7 +87,9 @@ class FrameEncoder:
         """Queue codes from one element; returns any completed frames.
 
         An element change flushes the partial frame first, so one frame
-        never mixes elements.
+        never mixes elements. Full frames are packed straight from the
+        array — the per-sample Python loop this replaces dominated the
+        framing cost on second-long records.
         """
         codes = np.asarray(codes)
         if codes.dtype.kind not in "iu":
@@ -95,12 +97,23 @@ class FrameEncoder:
         if codes.size and (codes.max() > 32767 or codes.min() < -32768):
             raise ConfigurationError("codes must fit int16")
         out = bytearray()
-        for code in codes.astype(np.int64):
-            if self._pending and self._pending[0][0] != element:
+        if self._pending and self._pending[0][0] != element:
+            out += self.flush()
+        codes16 = codes.astype(np.int16)
+        spf = self.samples_per_frame
+        pos = 0
+        if self._pending:  # top up the partial frame first
+            take = min(spf - len(self._pending), codes16.size)
+            self._pending.extend(
+                (int(element), int(c)) for c in codes16[:take]
+            )
+            pos = take
+            if len(self._pending) >= spf:
                 out += self.flush()
-            self._pending.append((int(element), int(code)))
-            if len(self._pending) >= self.samples_per_frame:
-                out += self.flush()
+        while codes16.size - pos >= spf:
+            out += self._emit(element, codes16[pos : pos + spf])
+            pos += spf
+        self._pending.extend((int(element), int(c)) for c in codes16[pos:])
         return bytes(out)
 
     def flush(self) -> bytes:
@@ -110,6 +123,9 @@ class FrameEncoder:
         element = self._pending[0][0]
         samples = np.array([c for _, c in self._pending], dtype=np.int16)
         self._pending.clear()
+        return self._emit(element, samples)
+
+    def _emit(self, element: int, samples: np.ndarray) -> bytes:
         body = _HEADER.pack(SYNC, self._sequence, element, samples.size)
         body += samples.tobytes()
         crc = crc16_ccitt(body)

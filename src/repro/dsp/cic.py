@@ -85,18 +85,20 @@ class CICDecimator:
     def process(self, samples: np.ndarray) -> np.ndarray:
         """Filter and decimate a chunk of integer samples.
 
-        Accepts any integer array (the modulator bitstream mapped to
-        +/-1). Returns the decimated output words (full CIC gain, not
-        normalized) as int64. State persists across calls, so
-        concatenating the outputs of chunked calls equals one big call.
+        Accepts any integer or boolean array — the modulator bitstream
+        in +/-1, 0/1, or raw bool form. Returns the decimated output
+        words (full CIC gain, not normalized) as int64. State persists
+        across calls, so concatenating the outputs of chunked calls
+        equals one big call.
         """
         x = np.asarray(samples)
-        if x.dtype.kind not in "iu":
+        if x.dtype.kind not in "iub":
             raise ConfigurationError(
-                f"CIC input must be integer (got dtype {x.dtype}); "
-                "map the bitstream to +/-1 integers first"
+                f"CIC input must be an integer or boolean array "
+                f"(got dtype {x.dtype}); floating-point samples are "
+                "not accepted — quantize to bitstream levels first"
             )
-        x = x.astype(np.int64)
+        x = x.astype(np.int64, copy=False)
         if x.size == 0:
             return np.zeros(0, dtype=np.int64)
 

@@ -137,8 +137,8 @@ class DecimationFilter:
                     "bitstream must contain exact +/-1 values"
                 )
             bits = rounded
-        bits = bits.astype(np.int64)
-        if bits.size and not np.all(np.isin(bits, (-1, 1))):
+        bits = bits.astype(np.int64, copy=False)
+        if bits.size and not np.all(np.abs(bits) == 1):
             raise ConfigurationError("bitstream values must be +/-1")
 
         cic_out = self.cic.process(bits)  # FS = 2^15 counts

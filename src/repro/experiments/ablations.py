@@ -27,7 +27,6 @@ from ..errors import ConfigurationError
 from ..params import ModulatorParams, NonidealityParams, SystemParams
 from ..sdm.feedback import FeedbackDAC
 from ..sdm.modulator import SecondOrderSDM
-from ..sdm.topology import LoopCoefficients
 
 
 @dataclass(frozen=True)

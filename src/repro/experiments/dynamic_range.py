@@ -64,6 +64,7 @@ def run_dynamic_range(
     amplitudes_dbfs: np.ndarray | None = None,
     n_fft: int = 2048,
     rng: np.random.Generator | None = None,
+    backend: str = "fast",
 ) -> DynamicRangeResult:
     """Sweep tone amplitude through the full chain, measuring SNR."""
     params = params or SystemParams()
@@ -87,7 +88,9 @@ def run_dynamic_range(
     snrs = np.empty(amplitudes_dbfs.size)
     for i, dbfs in enumerate(amplitudes_dbfs):
         amplitude = 10.0 ** (dbfs / 20.0)
-        chain = ReadoutChain(params, rng=np.random.default_rng(1000 + i))
+        chain = ReadoutChain(
+            params, rng=np.random.default_rng(1000 + i), backend=backend
+        )
         rec = chain.record_voltage(amplitude * vref * carrier)
         codes = rec.values[settle : settle + n_fft]
         try:

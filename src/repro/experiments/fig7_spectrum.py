@@ -74,6 +74,7 @@ def run_fig7(
     n_fft: int = 4096,
     settle_words: int = 256,
     rng: np.random.Generator | None = None,
+    backend: str = "fast",
 ) -> Fig7Result:
     """Run the Fig. 7 tone test.
 
@@ -89,11 +90,15 @@ def run_fig7(
         Coherent analysis record length at the output rate.
     settle_words:
         Output words discarded while the chain settles.
+    backend:
+        Modulator simulation backend (``"fast"``/``"reference"``); both
+        produce bit-identical spectra, the fast one in a fraction of the
+        wall-time.
     """
     params = params or SystemParams()
     if not 0 < amplitude_fraction_fs < 1:
         raise ConfigurationError("amplitude fraction must be in (0, 1)")
-    chain = ReadoutChain(params, rng=rng)
+    chain = ReadoutChain(params, rng=rng, backend=backend)
 
     out_rate = chain.output_rate_hz
     tone = coherent_tone_frequency(PAPER_TONE_HZ, out_rate, n_fft)
@@ -115,7 +120,7 @@ def run_fig7(
 
     # Float-path reference: same bitstream through the double-precision
     # cascade, no 12-bit quantizer.
-    chain_float = ReadoutChain(params, rng=np.random.default_rng(8))
+    chain_float = ReadoutChain(params, rng=np.random.default_rng(8), backend=backend)
     mod_out = chain_float.chip.acquire_voltage(stimulus_v)
     float_vals = chain_float.fpga.filter.process_float(
         mod_out.bitstream.astype(float)

@@ -119,6 +119,7 @@ def run_fig9(
     duration_s: float = 16.0,
     lateral_offset_m: float = 0.5e-3,
     rng: np.random.Generator | None = None,
+    backend: str = "fast",
 ) -> Fig9Result:
     """Run the Fig. 9 monitoring session."""
     params = params or SystemParams()
@@ -127,7 +128,7 @@ def run_fig9(
         raise ConfigurationError("need >= 5 s for stable features")
     rng = rng or np.random.default_rng(99)
 
-    chain = ReadoutChain(params, rng=rng)
+    chain = ReadoutChain(params, rng=rng, backend=backend)
     patient = VirtualPatient(patient_params, rng=rng)
     map_mmhg = (
         patient_params.diastolic_mmhg + patient_params.pulse_pressure_mmhg / 3.0

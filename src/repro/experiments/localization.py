@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..mems.geometry import ArrayGeometry
-from ..params import ArrayParams, SystemParams, TissueParams
+from ..params import ArrayParams, SystemParams
 from ..physiology.tissue import TissueTransfer
 from ..tonometry.contact import ContactModel
 from ..tonometry.coupling import TonometricCoupling

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..dsp.decimator import DecimationFilter
 from ..dsp.spectrum import analyze_tone, coherent_tone_frequency
-from ..params import ModulatorParams, NonidealityParams, SystemParams
+from ..params import NonidealityParams, SystemParams
 from ..sdm.feedback import FeedbackDAC
 from ..sdm.modulator import SecondOrderSDM
 

@@ -89,6 +89,7 @@ def run_population(
     n_subjects: int = 10,
     duration_s: float = 10.0,
     seed: int = 4040,
+    backend: str = "fast",
 ) -> PopulationResult:
     """Run the full protocol over a diversified virtual population."""
     params = params or SystemParams()
@@ -115,7 +116,7 @@ def run_population(
             diastolic + (systolic - diastolic) / 3.0
         ) * PASCAL_PER_MMHG
 
-        chain = ReadoutChain(params, rng=rng)
+        chain = ReadoutChain(params, rng=rng, backend=backend)
         contact = ContactModel(
             contact=params.contact,
             tissue=params.tissue,

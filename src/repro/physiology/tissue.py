@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
 from ..params import TissueParams
 
 

@@ -9,6 +9,7 @@ linear analysis (NTF/STF) and the adjustable feedback DAC the paper's
 future-work section proposes.
 """
 
+from .fastpath import kernel_available
 from .topology import LoopCoefficients
 from .linear import LinearLoopModel
 from .comparator import Comparator
@@ -45,5 +46,6 @@ __all__ = [
     "VoltageFrontEnd",
     "integrator_noise_sigma_v",
     "jitter_error_sigma",
+    "kernel_available",
     "kt_over_c_sigma_v",
 ]

@@ -19,11 +19,14 @@ import numpy as np
 
 from ..errors import ConfigurationError, ModulatorOverloadError
 from ..params import ModulatorParams, NonidealityParams
+from . import fastpath
 from .comparator import Comparator
 from .feedback import FeedbackDAC
 from .integrator import SCIntegrator
 from .nonidealities import FlickerNoiseGenerator, integrator_noise_sigma_v
 from .topology import LoopCoefficients
+
+BACKENDS = ("reference", "fast")
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,13 @@ class SecondOrderSDM:
         Feedback DAC override (for the future-work Cfb ablation).
     rng:
         Random generator; a fixed default keeps runs reproducible.
+    backend:
+        ``"fast"`` (default) runs the recurrence through
+        :mod:`repro.sdm.fastpath` — a compiled kernel when a C compiler
+        is available, an equivalent tightened Python loop otherwise.
+        ``"reference"`` pins the original cycle-accurate Python loop.
+        Both produce bit-identical bitstreams for any deterministic
+        comparator, so the switch trades only wall-time.
     """
 
     def __init__(
@@ -66,9 +76,15 @@ class SecondOrderSDM:
         coefficients: LoopCoefficients | None = None,
         dac: FeedbackDAC | None = None,
         rng: np.random.Generator | None = None,
+        backend: str = "fast",
     ):
         self.params = params or ModulatorParams()
         self.nonideality = nonideality or NonidealityParams()
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         if dac is not None and coefficients is not None:
             raise ConfigurationError(
                 "pass either coefficients or a dac (which carries its own), "
@@ -85,12 +101,10 @@ class SecondOrderSDM:
                 b2=self.params.a2,
             )
             self.coefficients = base
-            self.dac = FeedbackDAC(
-                coefficients=LoopCoefficients(
-                    a1=base.a1, a2=base.a2, b1=base.b1, b2=base.b2
-                ),
-                cfb_ratio=1.0,
-            )
+            # Share the caller's coefficients object with the DAC (a
+            # field-by-field copy here would let the two silently diverge
+            # if coefficients are ever mutated or subclassed).
+            self.dac = FeedbackDAC(coefficients=base, cfb_ratio=1.0)
         self.rng = rng or np.random.default_rng(20040216)
 
         ni = self.nonideality
@@ -152,6 +166,7 @@ class SecondOrderSDM:
         loop_input: np.ndarray,
         record_states: bool = False,
         overload_policy: str = "ignore",
+        backend: str | None = None,
     ) -> ModulatorOutput:
         """Run the loop over a normalized input sequence.
 
@@ -166,6 +181,11 @@ class SecondOrderSDM:
             counted); ``"raise"`` raises
             :class:`~repro.errors.ModulatorOverloadError` on the first
             clipped cycle.
+        backend:
+            Per-call override of the constructor's ``backend``. The fast
+            backend routes metastable comparators (in-loop random draws)
+            to the reference loop automatically, so results match the
+            reference for every configuration.
 
         State persists across calls: consecutive ``simulate`` calls
         continue the same analog history, as a streaming chip would.
@@ -175,12 +195,37 @@ class SecondOrderSDM:
             raise ConfigurationError("loop input must be a 1-D sequence")
         if overload_policy not in ("ignore", "raise"):
             raise ConfigurationError("overload_policy must be ignore|raise")
+        backend = backend if backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         n = u.size
         if n == 0:
             return ModulatorOutput(
                 bitstream=np.zeros(0, dtype=np.int8), clipped_samples=0
             )
 
+        u, noise, dac_noise, dac_gain = self._prepare_inputs(u)
+        if backend == "fast" and self.comparator.metastable_band_v == 0.0:
+            return self._simulate_fast(
+                u, noise, dac_noise, dac_gain, record_states, overload_policy
+            )
+        return self._simulate_reference(
+            u, noise, dac_noise, dac_gain, record_states, overload_policy
+        )
+
+    def _prepare_inputs(
+        self, u: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, float]:
+        """Draw every stochastic term for a block, shared by both backends.
+
+        The draw order (jitter, white noise, flicker, DAC reference
+        noise) is part of the contract: with equal RNG state both
+        backends consume identical streams, which is what makes them
+        bit-identical rather than merely statistically equivalent.
+        """
+        n = u.size
         ni = self.nonideality
         # Clock jitter: error = delta_t * du/dt, applied to the input.
         if ni.clock_jitter_s > 0.0:
@@ -203,7 +248,68 @@ class SecondOrderSDM:
         else:
             dac_noise = None
         dac_gain = 1.0 + self.dac.reference_error
+        return u, noise, dac_noise, dac_gain
 
+    def _simulate_fast(
+        self,
+        u: np.ndarray,
+        noise: np.ndarray,
+        dac_noise: np.ndarray | None,
+        dac_gain: float,
+        record_states: bool,
+        overload_policy: str,
+    ) -> ModulatorOutput:
+        """Run the prepared block through :mod:`repro.sdm.fastpath`."""
+        s1, s2 = self.stage1, self.stage2
+        comp = self.comparator
+        fast_comparator = comp.is_ideal()
+        a1 = s1.signal_gain * s1.gain_error
+        result = fastpath.run_loop(
+            au=a1 * u,
+            noise=noise,
+            dac_noise=dac_noise,
+            dac_gain=dac_gain,
+            p1=s1.leak,
+            b1=s1.feedback_gain * s1.gain_error,
+            p2=s2.leak,
+            a2=s2.signal_gain * s2.gain_error,
+            b2=s2.feedback_gain * s2.gain_error,
+            swing=s1.swing_limit,
+            x1=s1.state,
+            x2=s2.state,
+            record_states=record_states,
+            raise_on_clip=(overload_policy == "raise"),
+            ideal_comparator=fast_comparator,
+            comp_offset=comp.offset_v,
+            comp_hysteresis=comp.hysteresis_v,
+            comp_previous=comp.previous_decision,
+        )
+        if not fast_comparator:
+            comp._previous = result.comp_previous
+        if result.overload_index >= 0:
+            # Mirror the reference loop: stage states are not committed
+            # when the run aborts on the first clipped cycle.
+            raise ModulatorOverloadError(
+                result.overload_index, (result.x1, result.x2)
+            )
+        s1.state, s2.state = result.x1, result.x2
+        return ModulatorOutput(
+            bitstream=result.bits,
+            clipped_samples=result.clipped,
+            states=result.states,
+        )
+
+    def _simulate_reference(
+        self,
+        u: np.ndarray,
+        noise: np.ndarray,
+        dac_noise: np.ndarray | None,
+        dac_gain: float,
+        record_states: bool,
+        overload_policy: str,
+    ) -> ModulatorOutput:
+        """The original cycle-accurate Python loop (the ground truth)."""
+        n = u.size
         bits = np.empty(n, dtype=np.int8)
         states = np.empty((n, 2)) if record_states else None
         clipped = 0
@@ -244,6 +350,50 @@ class SecondOrderSDM:
         return ModulatorOutput(
             bitstream=bits, clipped_samples=clipped, states=states
         )
+
+    def simulate_batch(
+        self,
+        loop_inputs: np.ndarray,
+        record_states: bool = False,
+        overload_policy: str = "ignore",
+        backend: str | None = None,
+    ) -> list[ModulatorOutput]:
+        """Run several independent input segments through one call.
+
+        Models a bank of identical modulators (one per array element)
+        converting in parallel: every row of ``loop_inputs`` (shape
+        ``(n_segments, n_samples)``) starts from this instance's current
+        analog state and evolves independently. Unlike :meth:`simulate`,
+        the instance state and comparator memory are left untouched —
+        the batch is a stateless fan-out, not a continuation of the
+        stream. Stochastic terms are drawn row by row, so with an ideal
+        (noiseless) configuration each row is bit-identical to a fresh
+        single-segment run.
+        """
+        u = np.asarray(loop_inputs, dtype=float)
+        if u.ndim != 2:
+            raise ConfigurationError(
+                "batched loop input must be (n_segments, n_samples)"
+            )
+        s1, s2 = self.stage1, self.stage2
+        saved = (s1.state, s2.state, self.comparator._previous)
+        outputs: list[ModulatorOutput] = []
+        try:
+            for row in u:
+                s1.state, s2.state = saved[0], saved[1]
+                self.comparator._previous = saved[2]
+                outputs.append(
+                    self.simulate(
+                        row,
+                        record_states=record_states,
+                        overload_policy=overload_policy,
+                        backend=backend,
+                    )
+                )
+        finally:
+            s1.state, s2.state = saved[0], saved[1]
+            self.comparator._previous = saved[2]
+        return outputs
 
     def describe(self) -> str:
         """Human-readable configuration summary."""

@@ -61,6 +61,10 @@ class LoopCoefficients:
         """
         if ratio <= 0:
             raise ConfigurationError("feedback ratio must be positive")
+        if ratio == 1.0:
+            # Frozen dataclass: safe to share, and it keeps a DAC built
+            # from caller-supplied coefficients aliased to them.
+            return self
         return LoopCoefficients(
             a1=self.a1, a2=self.a2, b1=self.b1 * ratio, b2=self.b2
         )

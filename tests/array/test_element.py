@@ -1,6 +1,5 @@
 """Array element wrapper."""
 
-import numpy as np
 import pytest
 
 from repro.array.element import ArrayElement

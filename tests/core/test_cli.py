@@ -1,6 +1,5 @@
 """CLI entry point."""
 
-import pytest
 
 from repro.cli import EXPERIMENTS, main
 

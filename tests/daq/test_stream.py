@@ -62,3 +62,100 @@ class TestReassembly:
     def test_rejects_bad_rate(self):
         with pytest.raises(ConfigurationError):
             SampleStream(sample_rate_hz=0.0)
+
+
+class TestGapAccounting:
+    """Dropped frames must show up as explicit per-element gaps."""
+
+    def drop(self, frames, *indices):
+        return [f for i, f in enumerate(frames) if i not in indices]
+
+    def test_no_gaps_on_clean_stream(self):
+        stream = SampleStream()
+        stream.ingest(frames_for([(0, np.arange(32))]))
+        assert stream.gaps(0) == ()
+        assert stream.lost_samples(0) == 0
+
+    def test_single_dropped_frame(self):
+        stream = SampleStream()
+        frames = frames_for([(0, np.arange(32))], samples_per_frame=8)
+        stream.ingest(self.drop(frames, 1))  # lose samples 8..15
+        gaps = stream.gaps(0)
+        assert len(gaps) == 1
+        assert gaps[0].sample_index == 8
+        assert gaps[0].lost_frames == 1
+        assert gaps[0].lost_samples == 8
+        assert stream.lost_samples(0) == 8
+        assert stream.sample_count(0) == 24
+
+    def test_gap_detected_across_ingest_calls(self):
+        stream = SampleStream()
+        frames = frames_for([(0, np.arange(32))], samples_per_frame=8)
+        stream.ingest(frames[:1])
+        stream.ingest(frames[2:])  # frame 1 never arrives
+        assert stream.lost_samples(0) == 8
+
+    def test_consecutive_losses_coalesce(self):
+        stream = SampleStream()
+        frames = frames_for([(0, np.arange(48))], samples_per_frame=8)
+        stream.ingest(self.drop(frames, 2, 3))
+        gaps = stream.gaps(0)
+        assert len(gaps) == 1
+        assert gaps[0].lost_frames == 2
+        assert gaps[0].lost_samples == 16
+
+    def test_gap_attributed_to_following_frames_element(self):
+        """Lost frames' element tags are gone; the charge goes to the
+        element of the first frame after the loss."""
+        stream = SampleStream()
+        frames = frames_for(
+            [(0, np.arange(16)), (1, np.arange(16))], samples_per_frame=8
+        )
+        stream.ingest(self.drop(frames, 1))  # last element-0 frame lost
+        assert stream.gaps(0) == ()
+        assert len(stream.gaps(1)) == 1
+        assert stream.gaps(1)[0].sample_index == 0
+
+    def test_timestamps_shift_after_gap(self):
+        stream = SampleStream(sample_rate_hz=1000.0)
+        frames = frames_for([(0, np.arange(32))], samples_per_frame=8)
+        stream.ingest(self.drop(frames, 1))
+        t = stream.timestamps_s(0)
+        assert t.size == 24
+        assert t[7] == pytest.approx(7e-3)
+        # Sample 8 of the received record was acquired at t = 16 ms.
+        assert t[8] == pytest.approx(16e-3)
+        assert stream.duration_s(0) == pytest.approx(32e-3)
+
+    def test_zero_filled_reconstruction(self):
+        stream = SampleStream()
+        frames = frames_for([(0, np.arange(32))], samples_per_frame=8)
+        stream.ingest(self.drop(frames, 1))
+        filled, mask = stream.zero_filled(0)
+        assert filled.size == 32
+        assert mask.size == 32
+        assert np.array_equal(filled[:8], np.arange(8))
+        assert np.all(filled[8:16] == 0)
+        assert np.array_equal(filled[16:], np.arange(16, 32))
+        assert np.all(mask[:8]) and np.all(mask[16:])
+        assert not np.any(mask[8:16])
+
+    def test_zero_filled_clean_stream_is_identity(self):
+        stream = SampleStream()
+        stream.ingest(frames_for([(0, np.arange(20))]))
+        filled, mask = stream.zero_filled(0)
+        assert np.array_equal(filled, np.arange(20))
+        assert np.all(mask)
+
+    def test_sequence_wraparound_not_a_gap(self):
+        from repro.daq.usb import Frame
+
+        stream = SampleStream()
+        stream.ingest(
+            [
+                Frame(0xFFFF, 0, np.arange(4, dtype=np.int16)),
+                Frame(0x0000, 0, np.arange(4, 8, dtype=np.int16)),
+            ]
+        )
+        assert stream.gaps(0) == ()
+        assert stream.sample_count(0) == 8

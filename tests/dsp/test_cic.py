@@ -69,7 +69,7 @@ class TestStreaming:
 
     def test_float_input_rejected(self):
         cic = CICDecimator()
-        with pytest.raises(ConfigurationError, match="integer"):
+        with pytest.raises(ConfigurationError, match="integer or boolean"):
             cic.process(np.ones(10))
 
     def test_huge_chunk_recursion(self):
@@ -87,6 +87,39 @@ class TestStreaming:
             [cic_ref.process(x[:1600]), cic_ref.process(x[1600:])]
         )
         assert np.array_equal(out_a, out_b)
+
+
+class TestInputDtypes:
+    """The decimator takes the bitstream in +/-1, 0/1 or raw bool form."""
+
+    def test_zero_one_int_input(self):
+        rng = np.random.default_rng(21)
+        bits01 = rng.integers(0, 2, size=3200)
+        pm1 = 2 * bits01 - 1
+        out01 = CICDecimator(order=3, decimation=32).process(bits01)
+        out_pm1 = CICDecimator(order=3, decimation=32).process(pm1)
+        # Linearity: y(0/1) = (y(+/-1) + y(all-ones)) / 2.
+        ones = CICDecimator(order=3, decimation=32).process(
+            np.ones(3200, dtype=np.int64)
+        )
+        assert np.array_equal(2 * out01, out_pm1 + ones)
+
+    def test_bool_input_matches_int(self):
+        rng = np.random.default_rng(22)
+        flags = rng.integers(0, 2, size=3200).astype(bool)
+        out_bool = CICDecimator(order=3, decimation=32).process(flags)
+        out_int = CICDecimator(order=3, decimation=32).process(
+            flags.astype(np.int64)
+        )
+        assert out_bool.dtype == np.int64
+        assert np.array_equal(out_bool, out_int)
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.uint8, np.int16, np.int64])
+    def test_narrow_integer_dtypes(self, dtype):
+        x = np.array([1, 0, 1, 1] * 64, dtype=dtype)
+        out = CICDecimator(order=3, decimation=16).process(x)
+        ref = CICDecimator(order=3, decimation=16).process(x.astype(np.int64))
+        assert np.array_equal(out, ref)
 
 
 class TestFrequencyResponse:

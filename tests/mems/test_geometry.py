@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.mems.geometry import ArrayGeometry, KOH_SIDEWALL_ANGLE_DEG, koh_opening_side
-from repro.params import ArrayParams, MembraneParams
+from repro.params import ArrayParams
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Composite-plate lamination mechanics."""
 
-import math
 
 import pytest
 

@@ -45,6 +45,29 @@ class TestCICProperties:
         ]
         assert np.array_equal(np.concatenate(parts + [np.zeros(0, np.int64)]), whole)
 
+    @given(
+        cic_cases(),
+        st.lists(st.integers(min_value=0, max_value=10**6), max_size=6),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_splits_equal_one_shot(self, case, cuts, as_bool):
+        """Any partition of the input — uneven, empty, or bool-typed
+        pieces — concatenates to the one-shot result."""
+        order, decimation, n, seed = case
+        bits = np.random.default_rng(seed).integers(0, 2, size=n)
+        if as_bool:
+            bits = bits.astype(bool)
+        whole = CICDecimator(order, decimation, input_bits=2).process(bits)
+        stream = CICDecimator(order, decimation, input_bits=2)
+        edges = sorted(c % (n + 1) for c in cuts)
+        parts = [
+            stream.process(piece)
+            for piece in np.split(bits, edges)
+        ]
+        got = np.concatenate(parts + [np.zeros(0, np.int64)])
+        assert np.array_equal(got, whole)
+
     @given(cic_cases())
     @settings(max_examples=40, deadline=None)
     def test_dc_gain_bound(self, case):

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.params import ModulatorParams, NonidealityParams
+from repro.params import NonidealityParams
 from repro.sdm.higher_order import HigherOrderSDM
 from repro.sdm.modulator import SecondOrderSDM
 

@@ -1,0 +1,261 @@
+"""Fast backend vs reference loop: bit-identity and statistical parity."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.cic import CICDecimator
+from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
+from repro.errors import ConfigurationError, ModulatorOverloadError
+from repro.params import NonidealityParams
+from repro.sdm import fastpath
+from repro.sdm.feedback import FeedbackDAC
+from repro.sdm.modulator import SecondOrderSDM
+
+
+def make_pair(nonideality=None, seed=7, **kwargs):
+    """Two modulators in identical configurations and RNG states."""
+    ref = SecondOrderSDM(
+        nonideality=nonideality,
+        rng=np.random.default_rng(seed),
+        backend="reference",
+        **kwargs,
+    )
+    fast = SecondOrderSDM(
+        nonideality=nonideality,
+        rng=np.random.default_rng(seed),
+        backend="fast",
+        **kwargs,
+    )
+    return ref, fast
+
+
+def tone(n, amplitude=0.5, freq=0.013):
+    return amplitude * np.sin(2 * np.pi * freq * np.arange(n))
+
+
+NOISY_CONFIGS = {
+    "default": NonidealityParams(),
+    "flicker": NonidealityParams(flicker_corner_hz=1000.0),
+    "offset+hysteresis": NonidealityParams(
+        comparator_offset_v=5e-3, comparator_hysteresis_v=2e-3
+    ),
+}
+
+
+class TestBitIdentity:
+    def test_ideal_bitstream_identical(self):
+        ref, fast = make_pair(NonidealityParams.ideal())
+        u = tone(20000)
+        out_ref = ref.simulate(u, record_states=True)
+        out_fast = fast.simulate(u, record_states=True)
+        assert np.array_equal(out_ref.bitstream, out_fast.bitstream)
+        assert np.array_equal(out_ref.states, out_fast.states)
+        assert out_ref.clipped_samples == out_fast.clipped_samples
+        assert ref.stage1.state == fast.stage1.state
+        assert ref.stage2.state == fast.stage2.state
+
+    @pytest.mark.parametrize("name", sorted(NOISY_CONFIGS))
+    def test_same_seed_noisy_identical(self, name):
+        """Shared RNG draw order makes noisy runs bit-identical too."""
+        ref, fast = make_pair(NOISY_CONFIGS[name])
+        u = tone(16000)
+        out_ref = ref.simulate(u)
+        out_fast = fast.simulate(u)
+        assert np.array_equal(out_ref.bitstream, out_fast.bitstream)
+        assert out_ref.clipped_samples == out_fast.clipped_samples
+        assert ref.stage1.state == fast.stage1.state
+
+    def test_dac_reference_noise_identical(self):
+        dac_kwargs = dict(reference_error=0.01, reference_noise_sigma=1e-4)
+        ref = SecondOrderSDM(
+            dac=FeedbackDAC(**dac_kwargs),
+            rng=np.random.default_rng(3),
+            backend="reference",
+        )
+        fast = SecondOrderSDM(
+            dac=FeedbackDAC(**dac_kwargs),
+            rng=np.random.default_rng(3),
+            backend="fast",
+        )
+        u = tone(8000)
+        assert np.array_equal(
+            ref.simulate(u).bitstream, fast.simulate(u).bitstream
+        )
+
+    def test_streaming_continuation_identical(self):
+        """State carried across chunked simulate calls matches too."""
+        ref, fast = make_pair(NonidealityParams.ideal())
+        u = tone(12000)
+        out_ref = ref.simulate(u)
+        parts = [fast.simulate(u[i : i + 1000]) for i in range(0, u.size, 1000)]
+        got = np.concatenate([p.bitstream for p in parts])
+        assert np.array_equal(out_ref.bitstream, got)
+
+    def test_per_call_backend_override(self):
+        sdm = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(1),
+        )
+        u = tone(4000)
+        a = sdm.simulate(u, backend="reference")
+        sdm.reset()
+        b = sdm.simulate(u, backend="fast")
+        assert np.array_equal(a.bitstream, b.bitstream)
+
+
+class TestStatisticalParity:
+    def test_snr_matches_within_tolerance(self):
+        """Different seeds: the decimated SNR must agree statistically."""
+        osr, n_out = 128, 1024
+        fs = 128e3
+        out_rate = fs / osr
+        f_tone = coherent_tone_frequency(15.625, out_rate, n_out)
+        t = np.arange((n_out + 16) * osr) / fs
+        u = 0.5 * np.sin(2 * np.pi * f_tone * t)
+
+        def snr(backend, seed):
+            sdm = SecondOrderSDM(
+                rng=np.random.default_rng(seed), backend=backend
+            )
+            bits = sdm.simulate(u).bitstream
+            cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+            vals = (
+                cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain
+            )[16 : 16 + n_out]
+            return analyze_tone(
+                vals, out_rate, tone_hz=f_tone, max_band_hz=500.0
+            ).snr_db
+
+        assert snr("fast", 101) == pytest.approx(snr("reference", 202), abs=3.0)
+
+
+class TestClippingAndOverload:
+    def test_clipped_samples_agree(self):
+        ref, fast = make_pair(NonidealityParams.ideal())
+        u = tone(6000, amplitude=1.3)  # deliberately overloads the loop
+        out_ref = ref.simulate(u)
+        out_fast = fast.simulate(u)
+        assert out_ref.clipped_samples > 0
+        assert out_ref.clipped_samples == out_fast.clipped_samples
+        assert np.array_equal(out_ref.bitstream, out_fast.bitstream)
+
+    def test_overload_raise_parity(self):
+        ref, fast = make_pair(NonidealityParams.ideal())
+        u = tone(6000, amplitude=1.3)
+        with pytest.raises(ModulatorOverloadError) as err_ref:
+            ref.simulate(u, overload_policy="raise")
+        with pytest.raises(ModulatorOverloadError) as err_fast:
+            fast.simulate(u, overload_policy="raise")
+        assert err_ref.value.sample_index == err_fast.value.sample_index
+        # Neither backend commits integrator state on abort.
+        assert ref.stage1.state == fast.stage1.state
+        assert ref.stage2.state == fast.stage2.state
+
+
+class TestBatch:
+    def test_batch_rows_match_fresh_single_runs(self):
+        sdm = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(5),
+        )
+        rows = np.stack([tone(3000, 0.4), tone(3000, 0.6), tone(3000, 0.2)])
+        batch = sdm.simulate_batch(rows)
+        for row, out in zip(rows, batch):
+            fresh = SecondOrderSDM(
+                nonideality=NonidealityParams.ideal(),
+                rng=np.random.default_rng(5),
+            )
+            assert np.array_equal(out.bitstream, fresh.simulate(row).bitstream)
+
+    def test_batch_leaves_state_untouched(self):
+        sdm = SecondOrderSDM(
+            nonideality=NonidealityParams.ideal(),
+            rng=np.random.default_rng(5),
+        )
+        sdm.simulate(tone(1000))
+        before = (sdm.stage1.state, sdm.stage2.state)
+        sdm.simulate_batch(np.stack([tone(500), tone(500, 0.7)]))
+        assert (sdm.stage1.state, sdm.stage2.state) == before
+
+    def test_batch_rejects_1d(self):
+        sdm = SecondOrderSDM(rng=np.random.default_rng(5))
+        with pytest.raises(ConfigurationError):
+            sdm.simulate_batch(tone(100))
+
+
+class TestFallbackAndDispatch:
+    def test_python_fallback_matches_reference_loop(self):
+        """force_python pins the exact-arithmetic fallback path."""
+        ref, fast = make_pair(NonidealityParams.ideal())
+        u = tone(5000)
+        out_ref = ref.simulate(u)
+        a1 = fast.stage1.signal_gain * fast.stage1.gain_error
+        result = fastpath.run_loop(
+            au=a1 * u,
+            noise=np.zeros(u.size),
+            dac_noise=None,
+            dac_gain=1.0,
+            p1=fast.stage1.leak,
+            b1=fast.stage1.feedback_gain * fast.stage1.gain_error,
+            p2=fast.stage2.leak,
+            a2=fast.stage2.signal_gain * fast.stage2.gain_error,
+            b2=fast.stage2.feedback_gain * fast.stage2.gain_error,
+            swing=fast.stage1.swing_limit,
+            x1=0.0,
+            x2=0.0,
+            force_python=True,
+        )
+        assert np.array_equal(out_ref.bitstream, result.bits)
+
+    @pytest.mark.skipif(
+        not fastpath.kernel_available(), reason="no C compiler in environment"
+    )
+    def test_kernel_matches_python_fallback(self):
+        rng = np.random.default_rng(17)
+        kwargs = dict(
+            au=0.5 * rng.standard_normal(4000) * 0.1,
+            noise=1e-5 * rng.standard_normal(4000),
+            dac_noise=None,
+            dac_gain=1.0,
+            p1=0.9998,
+            b1=0.5,
+            p2=0.9998,
+            a2=0.5,
+            b2=0.5,
+            swing=1.0,
+            x1=0.0,
+            x2=0.0,
+            record_states=True,
+        )
+        kernel = fastpath.run_loop(**kwargs)
+        python = fastpath.run_loop(force_python=True, **kwargs)
+        assert np.array_equal(kernel.bits, python.bits)
+        assert np.array_equal(kernel.states, python.states)
+        assert kernel.x1 == python.x1 and kernel.x2 == python.x2
+        assert kernel.clipped == python.clipped
+
+    def test_metastable_comparator_routes_to_reference(self):
+        """In-loop random comparator draws stay on the reference path."""
+        sdm = SecondOrderSDM(rng=np.random.default_rng(9), backend="fast")
+        sdm.comparator.metastable_band_v = 1e-3
+        out = sdm.simulate(tone(2000))
+        assert set(np.unique(out.bitstream)) <= {-1, 1}
+
+    def test_kernel_available_is_bool(self):
+        assert isinstance(fastpath.kernel_available(), bool)
+
+
+class TestValidationAndRegressions:
+    def test_rejects_unknown_backend_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            SecondOrderSDM(backend="turbo")
+
+    def test_rejects_unknown_backend_per_call(self):
+        sdm = SecondOrderSDM(rng=np.random.default_rng(1))
+        with pytest.raises(ConfigurationError):
+            sdm.simulate(tone(10), backend="turbo")
+
+    def test_dac_shares_coefficients_object(self):
+        """Regression: the DAC must alias, not copy, the loop coefficients."""
+        sdm = SecondOrderSDM(rng=np.random.default_rng(1))
+        assert sdm.dac.coefficients is sdm.coefficients

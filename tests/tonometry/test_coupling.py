@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.mems.geometry import ArrayGeometry
-from repro.params import ArrayParams, PASCAL_PER_MMHG
+from repro.params import ArrayParams
 from repro.tonometry.contact import ContactModel
 from repro.tonometry.coupling import TonometricCoupling
 from repro.tonometry.placement import ArrayPlacement
