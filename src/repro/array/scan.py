@@ -81,6 +81,64 @@ class ScanController:
         """Row-major visiting order of all elements."""
         return list(range(self.array.n_elements))
 
+    def scan_records(
+        self,
+        chain,
+        element_pressures_pa: np.ndarray,
+        dwell_s: float = 2.0,
+        batched: bool = False,
+    ) -> np.ndarray:
+        """Sequence a chain through every element; return their records.
+
+        The single owner of element-scan sequencing
+        (:meth:`~repro.core.chain.ReadoutChain.scan_elements` delegates
+        here). Returns (n_words, n_elements) decimated values over the
+        common word count.
+
+        Parameters
+        ----------
+        chain:
+            A :class:`~repro.core.chain.ReadoutChain` built on the same
+            array this controller's multiplexer drives.
+        element_pressures_pa:
+            (n_mod_samples, n_elements) membrane-pressure field covering
+            at least ``n_elements * dwell_s`` of modulator clocks.
+        dwell_s:
+            Seconds spent on each element.
+        batched:
+            Convert all elements' dwell segments through one batched
+            modulator call (a bank of matched modulators) instead of
+            visiting them sequentially; the difference is confined to
+            the post-switch words the FPGA suppresses.
+        """
+        pressures = np.asarray(element_pressures_pa, dtype=float)
+        n_elements = self.array.n_elements
+        fs = chain.params.modulator.sampling_rate_hz
+        dwell_mod = int(dwell_s * fs)
+        if pressures.shape[0] < dwell_mod * n_elements:
+            raise ConfigurationError(
+                "pressure field too short for the requested scan"
+            )
+        records = []
+        if batched:
+            mod_outs = chain.chip.acquire_pressure_scan(
+                pressures[: dwell_mod * n_elements], dwell_mod
+            )
+            for k, mod_out in enumerate(mod_outs):
+                chain.fpga.select_element(k)
+                payload = chain.fpga.process(
+                    mod_out.bitstream.astype(np.int64)
+                )
+                payload += chain.fpga.flush()
+                records.append(chain._collect(payload, k).values)
+        else:
+            for k in range(n_elements):
+                chunk = pressures[k * dwell_mod : (k + 1) * dwell_mod]
+                rec = chain.record_pressure(chunk, element=k)
+                records.append(rec.values)
+        n = min(r.size for r in records)
+        return np.column_stack([r[:n] for r in records])
+
     def select_strongest(
         self,
         element_signals: np.ndarray,
@@ -143,9 +201,8 @@ class ScanController:
     ) -> ElementSelection:
         """Drive a full scan through a readout chain and pick the winner.
 
-        Sequences the chain through every element
-        (:meth:`~repro.core.chain.ReadoutChain.scan_elements`, batched
-        through the modulator fast path by default), drops the
+        Sequences the chain through every element (:meth:`scan_records`,
+        batched through the modulator fast path by default), drops the
         filter-flush words at the start of the common record, and feeds
         the settled signals to :meth:`select_strongest`.
 
@@ -165,8 +222,8 @@ class ScanController:
             Output words discarded before the amplitude metric; defaults
             to this controller's ``discard_samples``.
         """
-        records = chain.scan_elements(
-            element_pressures_pa, dwell_s=dwell_s, batched=batched
+        records = self.scan_records(
+            chain, element_pressures_pa, dwell_s=dwell_s, batched=batched
         )
         drop = self.discard_samples if settle_words is None else int(settle_words)
         settled = records[drop:]

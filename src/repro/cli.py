@@ -4,11 +4,15 @@
 
     python -m repro list                  # what can be run
     python -m repro run fig7              # one experiment, table output
+    python -m repro run fig7 --backend reference   # Python-loop modulator
     python -m repro run all               # everything (a few minutes)
+    python -m repro stream                # live chunked acquisition demo
     python -m repro describe              # print the system configuration
 
 Every experiment prints the same paper-vs-measured rows the benchmark
 suite asserts on; the CLI is the no-pytest entry point for quick looks.
+``stream`` drives the chunked :class:`~repro.core.session.AcquisitionSession`
+pipeline with live per-stage telemetry.
 """
 
 from __future__ import annotations
@@ -21,71 +25,91 @@ from typing import Callable
 from . import experiments
 from .params import paper_defaults
 
-#: Experiment registry: CLI name -> (description, runner).
-EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+#: Experiment registry: CLI name -> (description, runner, supports_backend).
+#: Runners with ``supports_backend`` accept a ``backend=`` keyword and are
+#: the ones whose wall-time is dominated by the modulator loop; both
+#: backends are bit-identical, so ``--backend`` only trades speed for the
+#: pure-Python reference path.
+EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
     "fig7": (
         "Fig. 7 — sigma-delta ADC tone test (SNR > 72 dB)",
-        lambda: experiments.run_fig7(),
+        lambda backend="fast": experiments.run_fig7(backend=backend),
+        True,
     ),
     "fig9": (
         "Fig. 9 — continuous BP waveform with cuff calibration",
-        lambda: experiments.run_fig9(),
+        lambda backend="fast": experiments.run_fig9(backend=backend),
+        True,
     ),
     "specs": (
         "Secs. 2-3 — specification table",
         lambda: experiments.run_table_specs(),
+        False,
     ),
     "membrane": (
         "Sec. 2.1 — membrane transducer characterization",
         lambda: experiments.run_membrane_transfer(),
+        False,
     ),
     "mux": (
         "Sec. 2.2 — mux settling vs converter bandwidth",
         lambda: experiments.run_mux_settling(),
+        False,
     ),
     "localization": (
         "Secs. 1-2 — placement tolerance and vessel localization",
         lambda: experiments.run_localization(),
+        False,
     ),
     "baselines": (
         "Sec. 1 — cuff vs tonometer vs catheter",
         lambda: experiments.run_baseline_comparison(),
+        False,
     ),
     "feedback": (
         "Sec. 4 — feedback-capacitor resolution knob",
         lambda: experiments.run_feedback_ablation(),
+        False,
     ),
     "osr": (
         "Sec. 4 — resolution vs conversion rate (OSR sweep)",
         lambda: experiments.run_osr_ablation(),
+        False,
     ),
     "dynamic-range": (
         "Fig. 7 companion — SNR vs input amplitude",
-        lambda: experiments.run_dynamic_range(),
+        lambda backend="fast": experiments.run_dynamic_range(backend=backend),
+        True,
     ),
     "noise-budget": (
         "analog noise budget behind the 72 dB",
         lambda: experiments.run_noise_budget(),
+        False,
     ),
     "architectures": (
         "Sec. 4 — higher-order / multi-bit modulator routes",
         lambda: experiments.run_architecture_comparison(),
+        False,
     ),
     "robustness": (
         "Sec. 4 — artifacts, thermal drift, hold-down servo",
         lambda: experiments.run_robustness(),
+        False,
     ),
     "design-space": (
         "(order x OSR) ENOB grid and Pareto front",
         lambda: experiments.run_design_space(),
+        False,
     ),
     "pressure-linearity": (
         "transducer linearity vs converter noise",
         lambda: experiments.run_pressure_linearity(),
+        False,
     ),
     "population": (
         "Fig. 9 protocol over a virtual population (AAMI stats)",
-        lambda: experiments.run_population(),
+        lambda backend="fast": experiments.run_population(backend=backend),
+        True,
     ),
 }
 
@@ -102,13 +126,14 @@ def _print_rows(title: str, rows: list[tuple[str, str, str]]) -> None:
 
 def cmd_list() -> int:
     print("available experiments:")
-    for name, (description, _) in EXPERIMENTS.items():
-        print(f"  {name:<15} {description}")
+    for name, (description, _, supports_backend) in EXPERIMENTS.items():
+        flag = " [--backend]" if supports_backend else ""
+        print(f"  {name:<15} {description}{flag}")
     print("  all             run everything")
     return 0
 
 
-def cmd_run(names: list[str]) -> int:
+def cmd_run(names: list[str], backend: str = "fast") -> int:
     if "all" in names:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -117,13 +142,107 @@ def cmd_run(names: list[str]) -> int:
         print("use `python -m repro list`", file=sys.stderr)
         return 2
     for name in names:
-        description, runner = EXPERIMENTS[name]
+        description, runner, supports_backend = EXPERIMENTS[name]
+        if backend != "fast" and not supports_backend:
+            print(f"note: {name} ignores --backend", file=sys.stderr)
         print(f"running {name}: {description} ...", flush=True)
         start = time.perf_counter()
-        result = runner()
+        result = runner(backend=backend) if supports_backend else runner()
         elapsed = time.perf_counter() - start
         _print_rows(f"{name} ({elapsed:.1f} s)", result.rows())
         print()
+    return 0
+
+
+def cmd_stream(
+    duration_s: float = 10.0,
+    chunk_s: float = 0.25,
+    element: int | None = None,
+    backend: str = "fast",
+) -> int:
+    """Live chunked acquisition: the streaming pipeline, narrated.
+
+    Runs the Fig. 9 physical setup through
+    :meth:`~repro.core.monitor.BloodPressureMonitor.record_streaming`,
+    printing per-chunk progress and the final per-stage telemetry.
+    """
+    import numpy as np
+
+    from .baselines.cuff import OscillometricCuff
+    from .core.chain import ReadoutChain
+    from .core.monitor import BloodPressureMonitor
+    from .params import PASCAL_PER_MMHG, PatientParams
+    from .physiology.patient import VirtualPatient
+    from .tonometry.contact import ContactModel
+    from .tonometry.coupling import TonometricCoupling
+    from .tonometry.placement import ArrayPlacement
+
+    if duration_s <= 0 or chunk_s <= 0:
+        print("duration and chunk must be positive", file=sys.stderr)
+        return 2
+    params = paper_defaults()
+    patient_params = PatientParams()
+    rng = np.random.default_rng(99)
+    chain = ReadoutChain(params, rng=rng, backend=backend)
+    patient = VirtualPatient(patient_params, rng=rng)
+    map_mmhg = (
+        patient_params.diastolic_mmhg + patient_params.pulse_pressure_mmhg / 3.0
+    )
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=params.tissue,
+        mean_arterial_pressure_pa=map_mmhg * PASCAL_PER_MMHG,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        placement=ArrayPlacement(lateral_offset_m=0.5e-3),
+        rng=rng,
+    )
+    monitor = BloodPressureMonitor(chain, coupling, cuff=OscillometricCuff())
+
+    scan_dwell_s = 0.5
+    scan_total = scan_dwell_s * chain.chip.array.n_elements
+    truth = patient.record(
+        duration_s=scan_total + duration_s,
+        sample_rate_hz=monitor.physiology_rate_hz,
+    )
+    if element is None:
+        selection = monitor.scan(truth, dwell_s=scan_dwell_s)
+        element = selection.best_index
+        print(
+            f"scan: element ({selection.best_row}, {selection.best_col}) "
+            f"selected, contrast {selection.contrast:.2f}"
+        )
+    else:
+        print(f"scan: skipped, element {element} forced")
+
+    def on_chunk(session, delivered) -> None:
+        t = session.telemetry
+        print(
+            f"\r  chunk {t.chunks:>4d}: {t.words_delivered:>7d} words, "
+            f"{t.lost_frames} lost, {t.crc_errors} CRC err, "
+            f"{t.throughput_msps():5.1f} MS/s",
+            end="",
+            flush=True,
+        )
+
+    recording, telemetry = monitor.record_streaming(
+        truth,
+        scan_total,
+        scan_total + duration_s,
+        element=element,
+        chunk_s=chunk_s,
+        on_chunk=on_chunk,
+    )
+    print(flush=True)
+    telemetry.reconcile()
+    print(telemetry.describe())
+    print(
+        f"recorded {recording.values.size} words at "
+        f"{recording.sample_rate_hz:.0f} S/s from element {element} "
+        f"({recording.lost_samples} lost samples); telemetry reconciles"
+    )
     return 0
 
 
@@ -159,13 +278,44 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "names", nargs="+", help="experiment names, or 'all'"
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=["fast", "reference"],
+        default="fast",
+        help="modulator backend for experiments that support it "
+        "(bit-identical; 'reference' is the slow pure-Python loop)",
+    )
+    stream_parser = sub.add_parser(
+        "stream", help="live chunked acquisition with per-stage telemetry"
+    )
+    stream_parser.add_argument(
+        "--duration", type=float, default=10.0, help="record length [s]"
+    )
+    stream_parser.add_argument(
+        "--chunk", type=float, default=0.25, help="chunk duration [s]"
+    )
+    stream_parser.add_argument(
+        "--element", type=int, default=None,
+        help="element index (default: scan and auto-select)",
+    )
+    stream_parser.add_argument(
+        "--backend", choices=["fast", "reference"], default="fast",
+        help="modulator backend",
+    )
     sub.add_parser("describe", help="print the paper-default configuration")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.names)
+        return cmd_run(args.names, backend=args.backend)
+    if args.command == "stream":
+        return cmd_stream(
+            duration_s=args.duration,
+            chunk_s=args.chunk,
+            element=args.element,
+            backend=args.backend,
+        )
     if args.command == "describe":
         return cmd_describe()
     parser.print_help()

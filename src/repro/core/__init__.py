@@ -6,6 +6,9 @@ This is the public top level most users want:
   front end + sigma-delta modulator (everything on the die of Fig. 5).
 * :class:`~repro.core.chain.ReadoutChain` — chip plus the FPGA decimation
   filter and USB link: pressures in, 12-bit words out.
+* :class:`~repro.core.session.AcquisitionSession` — the chunked
+  streaming pipeline behind the chain's record methods, with per-stage
+  :class:`~repro.core.session.PipelineTelemetry`.
 * :class:`~repro.core.monitor.BloodPressureMonitor` — the application:
   scan, select, record, calibrate against a cuff, report beats.
 * :class:`~repro.core.power.PowerModel` — the 11.5 mW budget and its
@@ -14,16 +17,19 @@ This is the public top level most users want:
 
 from .chip import SensorChip
 from .chain import ChainRecording, ReadoutChain
+from .session import AcquisitionSession, PipelineTelemetry
 from .monitor import BloodPressureMonitor, MonitorResult
 from .power import PowerModel, PowerReport
 from .autozero import AutoZeroController, AutoZeroState
 
 __all__ = [
+    "AcquisitionSession",
     "AutoZeroController",
     "AutoZeroState",
     "BloodPressureMonitor",
     "ChainRecording",
     "MonitorResult",
+    "PipelineTelemetry",
     "PowerModel",
     "PowerReport",
     "ReadoutChain",

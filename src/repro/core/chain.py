@@ -29,6 +29,10 @@ class ChainRecording:
     element: int
     lost_frames: int
     crc_errors: int
+    #: Samples the host stream's sequence-gap accounting says were lost
+    #: for this element (``SampleStream.lost_samples``) — the per-element
+    #: view behind the decoder-level ``lost_frames``.
+    lost_samples: int = 0
 
     @property
     def values(self) -> np.ndarray:
@@ -89,7 +93,19 @@ class ReadoutChain:
             element=element,
             lost_frames=decoder.lost_frames,
             crc_errors=decoder.crc_errors,
+            lost_samples=stream.lost_samples(element),
         )
+
+    def session(self, element: int | None = None):
+        """Open a streaming :class:`~repro.core.session.AcquisitionSession`.
+
+        The chunked-first entry point: feed bounded chunks, read words
+        incrementally, inspect per-stage telemetry. The batch record
+        methods below are thin wrappers over exactly this.
+        """
+        from .session import AcquisitionSession
+
+        return AcquisitionSession(self, element=element)
 
     def record_pressure(
         self,
@@ -98,6 +114,9 @@ class ReadoutChain:
     ) -> ChainRecording:
         """Acquire one element's record from a membrane-pressure field.
 
+        A one-chunk streaming session: output is bit-identical to
+        feeding the same field through :meth:`session` in any chunking.
+
         Parameters
         ----------
         element_pressures_pa:
@@ -105,13 +124,9 @@ class ReadoutChain:
         element:
             Element to select first (default: keep current selection).
         """
-        if element is not None:
-            self.chip.select_element(element)
-            self.fpga.select_element(element)
-        mod_out = self.chip.acquire_pressure(element_pressures_pa)
-        payload = self.fpga.process(mod_out.bitstream.astype(np.int64))
-        payload += self.fpga.finish()
-        return self._collect(payload, self.chip.selected_element)
+        session = self.session(element=element)
+        session.feed_pressure(element_pressures_pa)
+        return session.recording()
 
     def record_voltage(
         self, differential_voltage_v: np.ndarray
@@ -120,10 +135,9 @@ class ReadoutChain:
         v = np.asarray(differential_voltage_v, dtype=float)
         if v.ndim != 1:
             raise ConfigurationError("voltage record must be 1-D")
-        mod_out = self.chip.acquire_voltage(v)
-        payload = self.fpga.process(mod_out.bitstream.astype(np.int64))
-        payload += self.fpga.finish()
-        return self._collect(payload, self.chip.selected_element)
+        session = self.session()
+        session.feed_voltage(v)
+        return session.recording()
 
     def scan_elements(
         self,
@@ -137,6 +151,10 @@ class ReadoutChain:
         strongest-element selection. The pressure field must be long
         enough for ``n_elements * dwell_s``.
 
+        The scan sequencing itself is owned by
+        :class:`~repro.array.scan.ScanController` (this method delegates
+        to :meth:`~repro.array.scan.ScanController.scan_records`).
+
         ``batched=True`` converts all elements' dwell segments through
         one batched modulator call
         (:meth:`~repro.core.chip.SensorChip.acquire_pressure_scan`)
@@ -145,28 +163,9 @@ class ReadoutChain:
         element's final state; the difference is confined to the
         post-switch words the FPGA already suppresses.
         """
-        pressures = np.asarray(element_pressures_pa, dtype=float)
-        n_elements = self.chip.array.n_elements
-        fs = self.params.modulator.sampling_rate_hz
-        dwell_mod = int(dwell_s * fs)
-        if pressures.shape[0] < dwell_mod * n_elements:
-            raise ConfigurationError(
-                "pressure field too short for the requested scan"
-            )
-        records = []
-        if batched:
-            mod_outs = self.chip.acquire_pressure_scan(
-                pressures[: dwell_mod * n_elements], dwell_mod
-            )
-            for k, mod_out in enumerate(mod_outs):
-                self.fpga.select_element(k)
-                payload = self.fpga.process(mod_out.bitstream.astype(np.int64))
-                payload += self.fpga.finish()
-                records.append(self._collect(payload, k).values)
-        else:
-            for k in range(n_elements):
-                chunk = pressures[k * dwell_mod : (k + 1) * dwell_mod]
-                rec = self.record_pressure(chunk, element=k)
-                records.append(rec.values)
-        n = min(r.size for r in records)
-        return np.column_stack([r[:n] for r in records])
+        from ..array.scan import ScanController
+
+        controller = ScanController(self.chip.mux)
+        return controller.scan_records(
+            self, element_pressures_pa, dwell_s=dwell_s, batched=batched
+        )

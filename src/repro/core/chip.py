@@ -75,6 +75,22 @@ class SensorChip:
     def sampling_rate_hz(self) -> float:
         return self.params.modulator.sampling_rate_hz
 
+    # -- resumable state ---------------------------------------------------
+
+    def state_snapshot(self):
+        """Resumable modulator state at a chunk boundary.
+
+        Both backends resume bit-exactly from a snapshot (the fast
+        kernel and the reference loop carry identical state), which is
+        what lets :class:`~repro.core.session.AcquisitionSession`
+        suspend an acquisition between chunks.
+        """
+        return self.modulator.state_snapshot()
+
+    def restore_state(self, state) -> None:
+        """Resume the modulator from a :meth:`state_snapshot`."""
+        self.modulator.restore_state(state)
+
     # -- acquisition paths -----------------------------------------------------
 
     def acquire_pressure(

@@ -17,7 +17,9 @@ errors — the numbers Fig. 9 could only show qualitatively.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -31,6 +33,7 @@ from ..errors import ConfigurationError
 from ..physiology.patient import PatientRecording, VirtualPatient
 from ..tonometry.coupling import TonometricCoupling
 from .chain import ChainRecording, ReadoutChain
+from .session import AcquisitionSession, PipelineTelemetry
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,8 @@ class MonitorResult:
     ground_truth: PatientRecording
     #: Artifact flags over the record (None when rejection is disabled).
     artifact_report: ArtifactReport | None = None
+    #: Pipeline telemetry of the record step (streaming sessions only).
+    telemetry: PipelineTelemetry | None = None
 
     # -- derived accuracy metrics -------------------------------------------
 
@@ -157,10 +162,83 @@ class BloodPressureMonitor:
         fs = self.chain.params.modulator.sampling_rate_hz
         n = int(round((stop_s - start_s) * fs))
         t_mod = start_s + np.arange(n) / fs
-        arterial_pa = np.interp(
-            t_mod, recording.times_s, recording.pressure_pa
-        )
+        arterial_pa = recording.interp_pressure_pa(t_mod)
         return self.coupling.element_pressures_pa(arterial_pa)
+
+    def _pressure_field_chunks(
+        self,
+        recording: PatientRecording,
+        start_s: float,
+        stop_s: float,
+        chunk_s: float,
+    ) -> Iterator[np.ndarray]:
+        """Chunked :meth:`_pressure_field`: bounded synthesis on demand.
+
+        Yields (n_chunk, n_elements) fields whose concatenation is
+        bit-identical to the monolithic field — sample times come from
+        one global index grid and the coupling operating point is frozen
+        once — while only ever holding one chunk of 128 kHz data.
+        """
+        if chunk_s <= 0:
+            raise ConfigurationError("chunk duration must be positive")
+        fs = self.chain.params.modulator.sampling_rate_hz
+        n = int(round((stop_s - start_s) * fs))
+        step = max(int(round(chunk_s * fs)), 2)
+        field_fn = self.coupling.pressure_field_fn()
+        for i0 in range(0, n, step):
+            t_mod = start_s + np.arange(i0, min(i0 + step, n)) / fs
+            yield field_fn(recording.interp_pressure_pa(t_mod))
+
+    def record_streaming(
+        self,
+        recording: PatientRecording,
+        start_s: float,
+        stop_s: float,
+        element: int | None = None,
+        chunk_s: float = 0.25,
+        on_chunk: Callable[[AcquisitionSession, np.ndarray], None] | None = None,
+    ) -> tuple[ChainRecording, PipelineTelemetry]:
+        """Stream one element's record without materializing the field.
+
+        Synthesizes the membrane-pressure field chunk-by-chunk from the
+        physiology-rate ground truth and feeds it through an
+        :class:`~repro.core.session.AcquisitionSession`, so a session of
+        any duration costs O(chunk) memory at the modulator rate. The
+        returned recording is bit-identical to
+        ``chain.record_pressure(self._pressure_field(...), element)``;
+        the telemetry additionally carries the per-chunk synthesis time.
+
+        Parameters
+        ----------
+        recording:
+            Ground-truth patient record covering [start_s, stop_s).
+        start_s, stop_s:
+            Window of the record to acquire.
+        element:
+            Element to select first (default: keep current selection).
+        chunk_s:
+            Chunk duration; 0.25 s at 128 kS/s x 4 elements is ~1 MiB.
+        on_chunk:
+            Optional live observer called after every chunk with the
+            session and the newly delivered words (the CLI's hook).
+        """
+        session = AcquisitionSession(self.chain, element=element)
+        chunks = self._pressure_field_chunks(recording, start_s, stop_s, chunk_s)
+        while True:
+            # The generator interpolates and couples lazily, so the time
+            # spent pulling the next chunk IS the synthesis time.
+            t0 = time.perf_counter()
+            chunk = next(chunks, None)
+            session.telemetry.add_stage_seconds(
+                "synthesis", time.perf_counter() - t0
+            )
+            if chunk is None:
+                break
+            delivered = session.feed_pressure(chunk)
+            if on_chunk is not None:
+                on_chunk(session, delivered)
+        session.finish()
+        return session.recording(), session.telemetry
 
     def scan(
         self,
@@ -186,8 +264,16 @@ class BloodPressureMonitor:
         duration_s: float = 16.0,
         scan_dwell_s: float = 1.5,
         rng: np.random.Generator | None = None,
+        streaming: bool = False,
+        chunk_s: float = 0.25,
     ) -> MonitorResult:
-        """Run the full protocol and return the session result."""
+        """Run the full protocol and return the session result.
+
+        With ``streaming=True`` the record step runs through
+        :meth:`record_streaming` in ``chunk_s`` chunks — bit-identical
+        output, O(chunk) memory at the modulator rate, and the result
+        carries :class:`~repro.core.session.PipelineTelemetry`.
+        """
         if duration_s < 5.0:
             raise ConfigurationError(
                 "need >= 5 s of recording for stable beat features"
@@ -203,10 +289,17 @@ class BloodPressureMonitor:
 
         selection = self.scan(truth, dwell_s=scan_dwell_s)
 
-        field = self._pressure_field(truth, scan_total, total)
-        recording = self.chain.record_pressure(
-            field, element=selection.best_index
-        )
+        telemetry: PipelineTelemetry | None = None
+        if streaming:
+            recording, telemetry = self.record_streaming(
+                truth, scan_total, total,
+                element=selection.best_index, chunk_s=chunk_s,
+            )
+        else:
+            field = self._pressure_field(truth, scan_total, total)
+            recording = self.chain.record_pressure(
+                field, element=selection.best_index
+            )
 
         raw = lowpass_cardiac(
             recording.values, recording.sample_rate_hz
@@ -267,4 +360,5 @@ class BloodPressureMonitor:
             calibrated_mmhg=calibrated,
             ground_truth=measured_truth,
             artifact_report=artifact_report,
+            telemetry=telemetry,
         )

@@ -1,0 +1,374 @@
+"""Streaming acquisition sessions: the chunked chip→FPGA→USB pipeline.
+
+The paper's system is inherently streaming — the modulator, the SINC³+FIR
+decimator and the USB link run continuously at 128 kS/s while the PC
+consumes 1 kS/s words. :class:`AcquisitionSession` exposes exactly that
+contract in software: feed bounded pressure (or voltage) chunks, receive
+the decimated words they complete, and never hold more than one chunk of
+modulator-rate data in memory. Modulator, CIC/FIR and framing state all
+persist across chunk boundaries, so the concatenated chunked output is
+*bit-identical* to the one-shot batch path for any split of the record
+(:meth:`~repro.core.chain.ReadoutChain.record_pressure` is itself a thin
+wrapper over a session).
+
+Every session carries a :class:`PipelineTelemetry` that counts what each
+stage consumed and produced (modulator samples in, bits out, words
+filtered/suppressed, frames framed/decoded/lost, words delivered) and
+accumulates per-stage wall time plus the peak chunk byte size — the
+observability the batch path never had. The counters reconcile exactly:
+
+* ``bits_out == mod_samples_in`` (the ΣΔ emits one bit per clock),
+* ``mod_samples_in == R * (words_filtered - 1) + 1 + filter_remainder``
+  with ``0 <= filter_remainder < R`` — the cascade emits word *w* at
+  modulator sample ``R*(w-1) + 1`` (both stages produce an output on
+  their first input, from zero-padded history), so ``words_filtered ==
+  ceil(mod_samples_in / R)`` and the remainder counts samples consumed
+  since the last word,
+* ``frames_framed == frames_decoded + lost_frames`` on a lossless or
+  merely lossy (non-corrupting) link,
+* ``words_delivered == words_filtered - words_suppressed`` when nothing
+  was lost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..daq.stream import SampleStream
+from ..daq.usb import FrameDecoder
+from .chain import ChainRecording
+
+#: Pipeline stages, in dataflow order, as they appear in telemetry.
+STAGES = ("synthesis", "modulator", "fpga", "decode", "ingest")
+
+
+@dataclass
+class PipelineTelemetry:
+    """Per-stage counters and timings of one acquisition session.
+
+    All counters are cumulative over the session's lifetime. Stage wall
+    times land in :attr:`stage_seconds` under the :data:`STAGES` keys
+    (``synthesis`` is filled by callers that generate the input field
+    chunk-by-chunk, e.g. the streaming monitor).
+    """
+
+    #: Decimation factor R of the chain (modulator clocks per word).
+    decimation_factor: int = 0
+    #: Chunks fed so far.
+    chunks: int = 0
+    #: Modulator-rate input samples consumed.
+    mod_samples_in: int = 0
+    #: Bitstream bits produced by the modulator.
+    bits_out: int = 0
+    #: Modulator cycles in which an integrator clipped.
+    clipped_samples: int = 0
+    #: Decimated words out of the CIC+FIR cascade.
+    words_filtered: int = 0
+    #: Words dropped by the post-switch flush window.
+    words_suppressed: int = 0
+    #: USB frames emitted by the FPGA framer (including the final flush).
+    frames_framed: int = 0
+    #: Valid frames recovered by the host-side decoder.
+    frames_decoded: int = 0
+    #: Frames the decoder's sequence numbers say went missing.
+    lost_frames: int = 0
+    #: Frames rejected by CRC.
+    crc_errors: int = 0
+    #: Decimated words delivered to the consumer.
+    words_delivered: int = 0
+    #: Largest single input chunk, in bytes (the memory high-water mark
+    #: of the acquisition-rate data).
+    peak_chunk_bytes: int = 0
+    #: Wall time per pipeline stage [s].
+    stage_seconds: dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in STAGES}
+    )
+
+    def add_stage_seconds(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time against one pipeline stage."""
+        if stage not in self.stage_seconds:
+            raise ConfigurationError(
+                f"unknown stage {stage!r}; expected one of {STAGES}"
+            )
+        self.stage_seconds[stage] += float(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def filter_remainder(self) -> int:
+        """Modulator samples consumed since the cascade's last word.
+
+        The CIC and FIR stages each emit on their first input (from
+        zero-padded history), so word *w* appears at modulator sample
+        ``R*(w-1) + 1`` and after ``n`` samples the cascade holds
+        ``n - R*(words - 1) - 1`` samples toward the next word.
+        """
+        if self.words_filtered == 0:
+            return self.mod_samples_in
+        return (
+            self.mod_samples_in
+            - self.decimation_factor * (self.words_filtered - 1)
+            - 1
+        )
+
+    def reconcile(self, lossless: bool | None = None) -> None:
+        """Assert the stage counters agree with each other.
+
+        Raises :class:`~repro.errors.ConfigurationError` on any
+        inconsistency. ``lossless=True`` additionally requires that every
+        filtered, unsuppressed word arrived (``words_delivered ==
+        words_filtered - words_suppressed`` and no lost/CRC-errored
+        frames); ``None`` (default) applies it automatically when the
+        decoder saw no loss or corruption.
+        """
+        def require(ok: bool, what: str) -> None:
+            if not ok:
+                raise ConfigurationError(
+                    f"telemetry inconsistency: {what} ({self})"
+                )
+
+        require(self.bits_out == self.mod_samples_in,
+                "modulator must emit one bit per input sample")
+        if self.decimation_factor > 0:
+            if self.mod_samples_in == 0:
+                require(self.words_filtered == 0,
+                        "no words can be filtered from no samples")
+            else:
+                remainder = self.filter_remainder
+                require(0 <= remainder < self.decimation_factor,
+                        "decimator residue must be less than one output word")
+        require(self.words_suppressed <= self.words_filtered,
+                "cannot suppress more words than were filtered")
+        require(self.frames_framed == self.frames_decoded + self.lost_frames,
+                "framed frames must be decoded or counted lost")
+        if lossless is None:
+            lossless = self.lost_frames == 0 and self.crc_errors == 0
+        if lossless:
+            require(
+                self.words_delivered
+                == self.words_filtered - self.words_suppressed,
+                "every filtered, unsuppressed word must be delivered",
+            )
+
+    def throughput_msps(self) -> float:
+        """Modulator samples per second of pipeline wall time, in MS/s."""
+        total = self.total_seconds
+        return self.mod_samples_in / total / 1e6 if total > 0 else 0.0
+
+    def describe(self) -> str:
+        """Human-readable telemetry table (the CLI's live footer)."""
+        lines = [
+            "PipelineTelemetry",
+            f"  chunks            : {self.chunks} "
+            f"(peak {self.peak_chunk_bytes / 1024:.0f} KiB)",
+            f"  modulator         : {self.mod_samples_in} samples in, "
+            f"{self.bits_out} bits out, {self.clipped_samples} clipped",
+            f"  decimator         : {self.words_filtered} words "
+            f"(+{self.filter_remainder} samples in flight), "
+            f"{self.words_suppressed} suppressed",
+            f"  framing           : {self.frames_framed} framed, "
+            f"{self.frames_decoded} decoded, {self.lost_frames} lost, "
+            f"{self.crc_errors} CRC errors",
+            f"  delivered         : {self.words_delivered} words",
+        ]
+        for stage in STAGES:
+            seconds = self.stage_seconds[stage]
+            if seconds > 0.0:
+                lines.append(f"  t({stage:<9})      : {seconds * 1e3:.1f} ms")
+        if self.total_seconds > 0:
+            lines.append(
+                f"  throughput        : {self.throughput_msps():.2f} MS/s"
+            )
+        return "\n".join(lines)
+
+
+class AcquisitionSession:
+    """One stateful streaming acquisition through a readout chain.
+
+    Feed modulator-rate chunks with :meth:`feed_pressure` or
+    :meth:`feed_voltage`; each call returns the decimated words that
+    chunk completed (possibly empty — the decimator and the framer hold
+    partial words/frames across boundaries). :meth:`finish` flushes the
+    final partial USB frame; :meth:`recording` assembles the standard
+    :class:`~repro.core.chain.ChainRecording`.
+
+    Memory is O(chunk) at the modulator rate: only the caller's current
+    chunk and the pipeline's transients exist at 128 kS/s. The delivered
+    1 kS/s words accumulate (128x smaller), so even long sessions stay
+    cheap.
+
+    Parameters
+    ----------
+    chain:
+        The :class:`~repro.core.chain.ReadoutChain` to stream through.
+        The session shares the chain's chip and FPGA state (framer
+        sequence numbers continue across sessions, as on hardware) but
+        owns a fresh host-side decoder and sample stream.
+    element:
+        Element to select before the first chunk (default: keep the
+        chain's current selection). Switching resets the decimation
+        filter and starts the post-switch suppression window, exactly as
+        the batch path does.
+    """
+
+    def __init__(self, chain, element: int | None = None):
+        self.chain = chain
+        if element is not None:
+            chain.chip.select_element(element)
+            chain.fpga.select_element(element)
+        self.element = chain.chip.selected_element
+        self._decoder = FrameDecoder()
+        self._stream = SampleStream(sample_rate_hz=chain.output_rate_hz)
+        self.telemetry = PipelineTelemetry(
+            decimation_factor=chain.fpga.filter.params.total_decimation
+        )
+        self._kind: str | None = None
+        self._finished = False
+
+    # -- feeding -----------------------------------------------------------
+
+    def feed_pressure(self, element_pressures_pa: np.ndarray) -> np.ndarray:
+        """Convert one membrane-pressure chunk; return completed words.
+
+        ``element_pressures_pa`` is (n_chunk_samples, n_elements) at the
+        modulator clock — the same layout the batch path takes, just
+        bounded.
+        """
+        chunk = np.asarray(element_pressures_pa, dtype=float)
+        if chunk.ndim != 2:
+            raise ConfigurationError(
+                "expected (n_samples, n_elements) pressures"
+            )
+        return self._feed("pressure", chunk)
+
+    def feed_voltage(self, differential_voltage_v: np.ndarray) -> np.ndarray:
+        """Convert one test-voltage chunk (Fig. 7 path); return words."""
+        chunk = np.asarray(differential_voltage_v, dtype=float)
+        if chunk.ndim != 1:
+            raise ConfigurationError("voltage chunk must be 1-D")
+        return self._feed("voltage", chunk)
+
+    def _feed(self, kind: str, chunk: np.ndarray) -> np.ndarray:
+        if self._finished:
+            raise ConfigurationError(
+                "session already finished; start a new AcquisitionSession"
+            )
+        if self._kind is None:
+            self._kind = kind
+        elif self._kind != kind:
+            raise ConfigurationError(
+                f"cannot mix acquisition paths in one session "
+                f"(started with {self._kind!r}, got {kind!r})"
+            )
+        if chunk.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        tm = self.telemetry
+        chip, fpga = self.chain.chip, self.chain.fpga
+        tm.chunks += 1
+        tm.peak_chunk_bytes = max(tm.peak_chunk_bytes, chunk.nbytes)
+
+        t0 = time.perf_counter()
+        if kind == "pressure":
+            mod_out = chip.acquire_pressure(chunk)
+        else:
+            mod_out = chip.acquire_voltage(chunk)
+        t1 = time.perf_counter()
+        tm.add_stage_seconds("modulator", t1 - t0)
+        tm.mod_samples_in += chunk.shape[0]
+        tm.bits_out += mod_out.bitstream.size
+        tm.clipped_samples += mod_out.clipped_samples
+
+        words_before = fpga.words_filtered
+        suppressed_before = fpga.words_suppressed
+        frames_before = fpga.encoder.frames_emitted
+        payload = fpga.process(mod_out.bitstream.astype(np.int64))
+        t2 = time.perf_counter()
+        tm.add_stage_seconds("fpga", t2 - t1)
+        tm.words_filtered += fpga.words_filtered - words_before
+        tm.words_suppressed += fpga.words_suppressed - suppressed_before
+        tm.frames_framed += fpga.encoder.frames_emitted - frames_before
+
+        return self._deliver(payload, t2)
+
+    def _deliver(self, payload: bytes, t_start: float) -> np.ndarray:
+        """Decode and ingest one payload; return this element's new words."""
+        tm = self.telemetry
+        frames = self._decoder.feed(payload)
+        t3 = time.perf_counter()
+        tm.add_stage_seconds("decode", t3 - t_start)
+        tm.frames_decoded = self._decoder.frames_decoded
+        tm.lost_frames = self._decoder.lost_frames
+        tm.crc_errors = self._decoder.crc_errors
+
+        self._stream.ingest(frames)
+        tm.add_stage_seconds("ingest", time.perf_counter() - t3)
+        mine = [f.samples for f in frames if f.element == self.element]
+        if not mine:
+            return np.zeros(0, dtype=np.int64)
+        delivered = np.concatenate(mine).astype(np.int64)
+        tm.words_delivered += delivered.size
+        return delivered
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> np.ndarray:
+        """Flush the partial USB frame; return the words it delivers.
+
+        Idempotent: later calls return an empty array. Samples still
+        inside the decimation cascade (:attr:`PipelineTelemetry.
+        filter_remainder` of them) stay there — fewer than one output
+        word's worth, exactly as in the hardware.
+        """
+        if self._finished:
+            return np.zeros(0, dtype=np.int64)
+        self._finished = True
+        tm = self.telemetry
+        t0 = time.perf_counter()
+        frames_before = self.chain.fpga.encoder.frames_emitted
+        payload = self.chain.fpga.flush()
+        t1 = time.perf_counter()
+        tm.add_stage_seconds("fpga", t1 - t0)
+        tm.frames_framed += (
+            self.chain.fpga.encoder.frames_emitted - frames_before
+        )
+        return self._deliver(payload, t1)
+
+    def recording(self) -> ChainRecording:
+        """Finish (if needed) and assemble the session's recording.
+
+        Bit-identical to what the batch path returns for the same input,
+        regardless of how the input was chunked.
+        """
+        self.finish()
+        codes = self._stream.samples(self.element).astype(np.int64)
+        return ChainRecording(
+            codes=codes,
+            sample_rate_hz=self.chain.output_rate_hz,
+            element=self.element,
+            lost_frames=self._decoder.lost_frames,
+            crc_errors=self._decoder.crc_errors,
+            lost_samples=self._stream.lost_samples(self.element),
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def words_available(self) -> int:
+        """Words delivered for the selected element so far."""
+        return self._stream.sample_count(self.element)
+
+    @property
+    def stream(self) -> SampleStream:
+        """The session's host-side sample stream (gap accounting etc.)."""
+        return self._stream
+
+    @property
+    def finished(self) -> bool:
+        return self._finished

@@ -47,10 +47,19 @@ class FPGAFilterBank:
         self.flush_words_on_switch = int(flush_words_on_switch)
         self._element = 0
         self._suppress = 0
+        #: Lifetime telemetry counters (streaming sessions read deltas).
+        self.samples_in = 0
+        self.words_filtered = 0
+        self.words_suppressed = 0
+        self.filter_resets = 0
 
     @property
     def output_rate_hz(self) -> float:
         return self.filter.output_rate_hz
+
+    @property
+    def selected_element(self) -> int:
+        return self._element
 
     def select_element(self, element: int) -> None:
         """Record an element switch; resets the filter and starts the
@@ -60,20 +69,36 @@ class FPGAFilterBank:
         if element != self._element:
             self._element = int(element)
             self.filter.reset()
+            self.filter_resets += 1
             self._suppress = self.flush_words_on_switch
 
     def process(self, bitstream: np.ndarray) -> bytes:
         """Filter a bitstream chunk and emit completed USB frames."""
+        bitstream = np.asarray(bitstream)
         result = self.filter.process(bitstream)
         codes = result.codes
+        self.samples_in += bitstream.size
+        self.words_filtered += codes.size
         if self._suppress > 0:
             drop = min(self._suppress, codes.size)
             codes = codes[drop:]
             self._suppress -= drop
+            self.words_suppressed += drop
         if codes.size == 0:
             return b""
         return self.encoder.push(codes.astype(np.int16), self._element)
 
-    def finish(self) -> bytes:
-        """Flush the partial USB frame at end of acquisition."""
+    def flush(self) -> bytes:
+        """Flush the partial USB frame at end of acquisition.
+
+        Decimation state is *not* cleared: like the hardware, samples
+        still inside the CIC/FIR pipelines (fewer than one output word's
+        worth) stay there, ready for the next chunk. Only the framing
+        layer holds deliverable words back, so this is the single flush
+        point of the whole FPGA.
+        """
         return self.encoder.flush()
+
+    def finish(self) -> bytes:
+        """Alias of :meth:`flush` (historical batch-path name)."""
+        return self.flush()

@@ -61,6 +61,9 @@ class SampleStream:
         self._counts: dict[int, int] = defaultdict(int)
         self._gaps: dict[int, list[StreamGap]] = defaultdict(list)
         self._expected_seq: int | None = None
+        #: Lifetime ingest counters (telemetry).
+        self.frames_ingested = 0
+        self.samples_ingested = 0
 
     def ingest(self, frames: list[Frame]) -> None:
         """Append decoded frames to their element streams.
@@ -87,6 +90,8 @@ class SampleStream:
             self._expected_seq = (frame.sequence + 1) & 0xFFFF
             self._chunks[frame.element].append(frame.samples)
             self._counts[frame.element] += frame.samples.size
+            self.frames_ingested += 1
+            self.samples_ingested += frame.samples.size
 
     @property
     def elements(self) -> list[int]:
@@ -111,6 +116,12 @@ class SampleStream:
     def lost_samples(self, element: int) -> int:
         """Estimated samples lost to dropped frames for one element."""
         return sum(g.lost_samples for g in self._gaps.get(element, ()))
+
+    def total_lost_samples(self) -> int:
+        """Estimated samples lost to dropped frames across all elements."""
+        return sum(
+            g.lost_samples for gaps in self._gaps.values() for g in gaps
+        )
 
     def zero_filled(self, element: int) -> tuple[np.ndarray, np.ndarray]:
         """Gap-repaired record: ``(samples, valid_mask)``.

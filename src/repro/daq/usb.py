@@ -82,6 +82,13 @@ class FrameEncoder:
         self.samples_per_frame = int(samples_per_frame)
         self._sequence = 0
         self._pending: list[tuple[int, int]] = []  # (element, code)
+        #: Total frames emitted over the encoder's lifetime (telemetry).
+        self.frames_emitted = 0
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples queued but not yet framed (what :meth:`flush` emits)."""
+        return len(self._pending)
 
     def push(self, codes: np.ndarray, element: int) -> bytes:
         """Queue codes from one element; returns any completed frames.
@@ -130,6 +137,7 @@ class FrameEncoder:
         body += samples.tobytes()
         crc = crc16_ccitt(body)
         self._sequence = (self._sequence + 1) & 0xFFFF
+        self.frames_emitted += 1
         return body + _CRC.pack(crc)
 
 
@@ -146,6 +154,8 @@ class FrameDecoder:
         self._expected_seq: int | None = None
         self.lost_frames = 0
         self.crc_errors = 0
+        #: Total valid frames decoded over the decoder's lifetime.
+        self.frames_decoded = 0
 
     def feed(self, data: bytes) -> list[Frame]:
         """Consume bytes, return all frames completed by them.
@@ -193,5 +203,6 @@ class FrameDecoder:
                 )
             except ConfigurationError as exc:  # pragma: no cover
                 raise FramingError(str(exc)) from exc
+            self.frames_decoded += 1
         del buf[:pos]
         return frames

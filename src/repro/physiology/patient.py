@@ -34,6 +34,18 @@ class PatientRecording:
     def pressure_pa(self) -> np.ndarray:
         return self.pressure_mmhg * PASCAL_PER_MMHG
 
+    def interp_pressure_pa(self, times_s: np.ndarray) -> np.ndarray:
+        """Pressure [Pa] resampled onto an arbitrary time grid.
+
+        The record lives at the physiology rate (the waveform is below
+        ~25 Hz); resampling windows of it on demand is what lets the
+        streaming acquisition path synthesize the modulator-rate field
+        chunk-by-chunk instead of materializing minutes of 128 kHz data.
+        """
+        return np.interp(
+            np.asarray(times_s, dtype=float), self.times_s, self.pressure_pa
+        )
+
     @property
     def systolic_mmhg(self) -> float:
         """Record-average systolic value."""

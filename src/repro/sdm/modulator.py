@@ -43,6 +43,24 @@ class ModulatorOutput:
         return float(np.mean(self.bitstream)) if self.bitstream.size else 0.0
 
 
+@dataclass(frozen=True)
+class ModulatorState:
+    """Resumable analog state of the loop between ``simulate`` calls.
+
+    Everything a streaming session needs to suspend and resume a
+    conversion at a chunk boundary: the two integrator voltages, the
+    comparator's last decision (hysteresis memory) and the last input
+    sample (the jitter slope at the next chunk's first sample needs it).
+    RNG positions are *not* part of the snapshot — restoring state fans
+    out fresh noise, which is what the batched scan wants.
+    """
+
+    x1: float
+    x2: float
+    comparator_previous: int
+    last_input: float | None
+
+
 class SecondOrderSDM:
     """The paper's readout modulator, ready to stream.
 
@@ -106,6 +124,23 @@ class SecondOrderSDM:
             # if coefficients are ever mutated or subclassed).
             self.dac = FeedbackDAC(coefficients=base, cfb_ratio=1.0)
         self.rng = rng or np.random.default_rng(20040216)
+        # Independent child streams, one per stochastic term. Each term
+        # consumes its own stream sequentially, so splitting a record
+        # into chunks draws exactly the values one monolithic call
+        # would — the property the streaming acquisition sessions rely
+        # on for bit-identical chunked output. (A single shared stream
+        # would interleave terms differently per block size.)
+        try:
+            children = self.rng.spawn(4)
+        except (AttributeError, TypeError):  # pragma: no cover
+            children = [
+                np.random.default_rng(int(self.rng.integers(0, 2**63)))
+                for _ in range(4)
+            ]
+        self._jitter_rng, self._noise_rng, self._dac_rng, flicker_rng = children
+        #: Last raw input sample of the previous ``simulate`` call (None
+        #: at stream start) — carries the jitter slope across chunks.
+        self._last_input: float | None = None
 
         ni = self.nonideality
         self.comparator = Comparator(
@@ -135,7 +170,7 @@ class SecondOrderSDM:
                 corner_hz=ni.flicker_corner_hz,
                 white_sigma=self._noise_sigma_u,
                 sample_rate_hz=self.params.sampling_rate_hz,
-                rng=self.rng,
+                rng=flicker_rng,
             )
             if ni.flicker_corner_hz > 0
             else None
@@ -148,8 +183,25 @@ class SecondOrderSDM:
         self.stage1.reset()
         self.stage2.reset()
         self.comparator.reset()
+        self._last_input = None
         if self._flicker is not None:
             self._flicker.reset()
+
+    def state_snapshot(self) -> ModulatorState:
+        """Capture the resumable analog state (chunk-boundary suspend)."""
+        return ModulatorState(
+            x1=self.stage1.state,
+            x2=self.stage2.state,
+            comparator_previous=self.comparator._previous,
+            last_input=self._last_input,
+        )
+
+    def restore_state(self, state: ModulatorState) -> None:
+        """Resume from a :meth:`state_snapshot` (RNG streams untouched)."""
+        self.stage1.state = state.x1
+        self.stage2.state = state.x2
+        self.comparator._previous = state.comparator_previous
+        self._last_input = state.last_input
 
     @property
     def input_full_scale(self) -> float:
@@ -220,31 +272,42 @@ class SecondOrderSDM:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, float]:
         """Draw every stochastic term for a block, shared by both backends.
 
-        The draw order (jitter, white noise, flicker, DAC reference
-        noise) is part of the contract: with equal RNG state both
-        backends consume identical streams, which is what makes them
-        bit-identical rather than merely statistically equivalent.
+        Every stochastic term draws from its own child stream (see
+        ``__init__``), so each term's draw positions depend only on how
+        many samples have been simulated — not on how the record was
+        chunked. With equal RNG state both backends, and any chunking of
+        the same record, consume identical streams, which is what makes
+        them bit-identical rather than merely statistically equivalent.
         """
         n = u.size
         ni = self.nonideality
+        last_input = self._last_input
+        self._last_input = float(u[-1])
         # Clock jitter: error = delta_t * du/dt, applied to the input.
         if ni.clock_jitter_s > 0.0:
             slope = np.empty_like(u)
             slope[1:] = (u[1:] - u[:-1]) * self.params.sampling_rate_hz
-            slope[0] = slope[1] if n > 1 else 0.0
-            jitter = ni.clock_jitter_s * self.rng.standard_normal(n)
+            if last_input is not None:
+                # Chunk continuation: the slope at the chunk's first
+                # sample differences against the previous chunk's last
+                # sample, exactly as an unchunked call would at the
+                # same position.
+                slope[0] = (u[0] - last_input) * self.params.sampling_rate_hz
+            else:
+                slope[0] = slope[1] if n > 1 else 0.0
+            jitter = ni.clock_jitter_s * self._jitter_rng.standard_normal(n)
             u = u + jitter * slope
 
         # Per-sample analog noise entering the first integrator.
         if self._noise_sigma_u > 0.0:
-            noise = self._noise_sigma_u * self.rng.standard_normal(n)
+            noise = self._noise_sigma_u * self._noise_rng.standard_normal(n)
         else:
             noise = np.zeros(n)
         if self._flicker is not None:
             noise = noise + self._flicker.sample_block(n)
         # Un-shaped DAC reference noise adds at the same node.
         if self.dac.reference_noise_sigma > 0.0:
-            dac_noise = self.dac.reference_noise_sigma * self.rng.standard_normal(n)
+            dac_noise = self.dac.reference_noise_sigma * self._dac_rng.standard_normal(n)
         else:
             dac_noise = None
         dac_gain = 1.0 + self.dac.reference_error
@@ -375,13 +438,11 @@ class SecondOrderSDM:
             raise ConfigurationError(
                 "batched loop input must be (n_segments, n_samples)"
             )
-        s1, s2 = self.stage1, self.stage2
-        saved = (s1.state, s2.state, self.comparator._previous)
+        saved = self.state_snapshot()
         outputs: list[ModulatorOutput] = []
         try:
             for row in u:
-                s1.state, s2.state = saved[0], saved[1]
-                self.comparator._previous = saved[2]
+                self.restore_state(saved)
                 outputs.append(
                     self.simulate(
                         row,
@@ -391,8 +452,7 @@ class SecondOrderSDM:
                     )
                 )
         finally:
-            s1.state, s2.state = saved[0], saved[1]
-            self.comparator._previous = saved[2]
+            self.restore_state(saved)
         return outputs
 
     def describe(self) -> str:

@@ -84,6 +84,30 @@ class TonometricCoupling:
         lateral = self.placement.coupling_weights(self.geometry, self.tissue)
         return lateral * self.contact_quality
 
+    def pressure_field_fn(self, hold_down_pa: float | None = None):
+        """Freeze the operating point into a per-chunk field converter.
+
+        Returns ``field(arterial_pressure_pa) -> (n, n_elements)`` with
+        the contact state and element weights evaluated once — the
+        streaming form of :meth:`element_pressures_pa` (which delegates
+        here), so converting a record chunk-by-chunk is bit-identical to
+        converting it whole, at O(chunk) memory.
+        """
+        state = self.contact.state(hold_down_pa)
+        weights = self.element_weights()
+        map_pa = self.contact.map_pa
+
+        def field(arterial_pressure_pa: np.ndarray) -> np.ndarray:
+            arterial = np.asarray(arterial_pressure_pa, dtype=float)
+            if arterial.ndim != 1:
+                raise ConfigurationError("arterial pressure must be 1-D")
+            pulsatile = arterial - map_pa
+            return state.static_membrane_pressure_pa + state.transmission * (
+                np.multiply.outer(pulsatile, weights)
+            )
+
+        return field
+
     def element_pressures_pa(
         self,
         arterial_pressure_pa: np.ndarray,
@@ -103,16 +127,7 @@ class TonometricCoupling:
         (n_samples, n_elements) membrane pressures [Pa], positive pressing
         the membranes toward their bottom electrodes.
         """
-        arterial = np.asarray(arterial_pressure_pa, dtype=float)
-        if arterial.ndim != 1:
-            raise ConfigurationError("arterial pressure must be 1-D")
-        state = self.contact.state(hold_down_pa)
-        weights = self.element_weights()
-        pulsatile = arterial - self.contact.map_pa
-        field = state.static_membrane_pressure_pa + state.transmission * (
-            np.multiply.outer(pulsatile, weights)
-        )
-        return field
+        return self.pressure_field_fn(hold_down_pa)(arterial_pressure_pa)
 
     def effective_gain(self, hold_down_pa: float | None = None) -> np.ndarray:
         """Per-element d(P_membrane)/d(P_arterial) at the operating point."""

@@ -1,6 +1,8 @@
 """CLI entry point."""
 
 
+import pytest
+
 from repro.cli import EXPERIMENTS, main
 
 
@@ -39,3 +41,64 @@ class TestCLI:
             "design-space", "pressure-linearity", "population",
         }
         assert expected == set(EXPERIMENTS)
+
+    def test_list_marks_backend_support(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        line = next(li for li in out.splitlines() if li.strip().startswith("fig7"))
+        assert "[--backend]" in line
+
+
+class TestBackendFlag:
+    def test_backend_threaded_to_runner(self, capsys, monkeypatch):
+        seen = {}
+
+        class Result:
+            def rows(self):
+                return [("q", "paper", "measured")]
+
+        def runner(backend="fast"):
+            seen["backend"] = backend
+            return Result()
+
+        monkeypatch.setitem(EXPERIMENTS, "fig7", ("stub", runner, True))
+        assert main(["run", "fig7", "--backend", "reference"]) == 0
+        assert seen["backend"] == "reference"
+
+    def test_backend_ignored_note_for_unsupported(self, capsys, monkeypatch):
+        class Result:
+            def rows(self):
+                return [("q", "paper", "measured")]
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "specs", ("stub", lambda: Result(), False)
+        )
+        assert main(["run", "specs", "--backend", "reference"]) == 0
+        assert "ignores --backend" in capsys.readouterr().err
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--backend", "warp"])
+
+
+class TestStreamCommand:
+    def test_stream_prints_live_telemetry(self, capsys):
+        code = main(
+            ["stream", "--duration", "1.5", "--chunk", "0.5", "--element", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "element 1 forced" in out
+        assert "PipelineTelemetry" in out
+        assert "words," in out  # the live per-chunk line
+        assert "telemetry reconciles" in out
+
+    def test_stream_scans_by_default(self, capsys):
+        assert main(["stream", "--duration", "1.0", "--chunk", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "scan: element" in out
+
+    def test_stream_rejects_bad_duration(self, capsys):
+        assert main(["stream", "--duration", "-1"]) == 2
+        assert "positive" in capsys.readouterr().err

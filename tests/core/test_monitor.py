@@ -78,6 +78,68 @@ class TestProtocol:
         assert "mmHg" in text
 
 
+def build_monitor(seed=70):
+    params = SystemParams()
+    rng = np.random.default_rng(seed)
+    chain = ReadoutChain(params, rng=rng)
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=params.tissue,
+        mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        placement=ArrayPlacement(lateral_offset_m=0.4e-3),
+        rng=rng,
+    )
+    return BloodPressureMonitor(chain, coupling)
+
+
+class TestStreamingMeasure:
+    """measure(streaming=True) == the batch protocol, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        batch = build_monitor().measure(
+            VirtualPatient(rng=np.random.default_rng(71)),
+            duration_s=5.0, scan_dwell_s=0.5,
+            rng=np.random.default_rng(72),
+        )
+        streamed = build_monitor().measure(
+            VirtualPatient(rng=np.random.default_rng(71)),
+            duration_s=5.0, scan_dwell_s=0.5,
+            rng=np.random.default_rng(72),
+            streaming=True, chunk_s=0.3,
+        )
+        return batch, streamed
+
+    def test_bit_identical_recording(self, pair):
+        batch, streamed = pair
+        assert np.array_equal(batch.recording.codes, streamed.recording.codes)
+        assert np.array_equal(batch.calibrated_mmhg, streamed.calibrated_mmhg)
+
+    def test_streaming_carries_telemetry(self, pair):
+        batch, streamed = pair
+        assert batch.telemetry is None
+        streamed.telemetry.reconcile()
+        assert streamed.telemetry.chunks == 17  # ceil(5.0 / 0.3)
+        assert streamed.telemetry.stage_seconds["synthesis"] > 0.0
+
+    def test_chunk_memory_bounded(self, pair):
+        _, streamed = pair
+        n_elements = 4
+        chunk_bytes = int(0.3 * 128000) * n_elements * 8
+        assert streamed.telemetry.peak_chunk_bytes <= chunk_bytes
+
+    def test_record_streaming_rejects_bad_chunk(self):
+        monitor = build_monitor()
+        patient = VirtualPatient(rng=np.random.default_rng(71))
+        truth = patient.record(duration_s=6.0, sample_rate_hz=2000.0)
+        with pytest.raises(ConfigurationError):
+            monitor.record_streaming(truth, 0.0, 5.0, chunk_s=0.0)
+
+
 class TestValidation:
     def test_short_duration_rejected(self):
         params = SystemParams()

@@ -1,0 +1,189 @@
+"""Streaming acquisition sessions and their telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.core.session import STAGES, AcquisitionSession, PipelineTelemetry
+from repro.errors import ConfigurationError
+
+
+def pressure_field(n, n_elements=4, seed=0):
+    """A plausible membrane-pressure field: offset + per-element sines."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    phases = rng.uniform(0, 2 * np.pi, size=n_elements)
+    field = 2000.0 + 400.0 * np.sin(
+        2 * np.pi * 20.0 * t[:, None] / 128000.0 + phases[None, :]
+    )
+    return field
+
+
+class TestAcquisitionSession:
+    def test_incremental_words_match_recording(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=1)
+        field = pressure_field(128 * 60)
+        got = [session.feed_pressure(field[:4000])]
+        got.append(session.feed_pressure(field[4000:]))
+        got.append(session.finish())
+        rec = session.recording()
+        assert np.array_equal(np.concatenate(got), rec.codes)
+
+    def test_feed_after_finish_rejected(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session()
+        session.feed_voltage(np.zeros(256))
+        session.finish()
+        with pytest.raises(ConfigurationError):
+            session.feed_voltage(np.zeros(256))
+
+    def test_mixed_paths_rejected(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session()
+        session.feed_pressure(pressure_field(256))
+        with pytest.raises(ConfigurationError):
+            session.feed_voltage(np.zeros(256))
+
+    def test_bad_shapes_rejected(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        with pytest.raises(ConfigurationError):
+            chain.session().feed_pressure(np.zeros(256))
+        with pytest.raises(ConfigurationError):
+            chain.session().feed_voltage(np.zeros((256, 4)))
+
+    def test_empty_chunk_is_a_noop(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session()
+        out = session.feed_voltage(np.zeros(0))
+        assert out.size == 0
+        assert session.telemetry.chunks == 0
+
+    def test_finish_is_idempotent(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session()
+        session.feed_voltage(np.zeros(128 * 40))
+        first = session.finish()
+        assert session.finished
+        assert session.finish().size == 0
+        assert first.size >= 0
+
+    def test_words_available_tracks_stream(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=0)
+        session.feed_pressure(pressure_field(128 * 60))
+        session.finish()
+        assert session.words_available == session.recording().codes.size
+
+    def test_recording_reports_no_loss_on_clean_link(self):
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=2)
+        session.feed_pressure(pressure_field(128 * 60))
+        rec = session.recording()
+        assert rec.lost_frames == 0
+        assert rec.crc_errors == 0
+        assert rec.lost_samples == 0
+
+
+class TestSessionTelemetry:
+    @pytest.fixture()
+    def telemetry(self):
+        chain = ReadoutChain(rng=np.random.default_rng(5))
+        session = chain.session(element=1)
+        field = pressure_field(128 * 100 + 37)
+        for start in range(0, field.shape[0], 3000):
+            session.feed_pressure(field[start : start + 3000])
+        session.finish()
+        return session.telemetry
+
+    def test_counters_reconcile(self, telemetry):
+        telemetry.reconcile()
+        telemetry.reconcile(lossless=True)
+
+    def test_modulator_identity(self, telemetry):
+        """words = ceil(samples / R); remainder = in-flight samples."""
+        tm = telemetry
+        n, r = tm.mod_samples_in, tm.decimation_factor
+        assert tm.bits_out == n == 128 * 100 + 37
+        assert tm.words_filtered == -(-n // r)
+        assert n == r * (tm.words_filtered - 1) + 1 + tm.filter_remainder
+        assert 0 <= tm.filter_remainder < r
+
+    def test_framing_identity(self, telemetry):
+        assert telemetry.frames_framed == (
+            telemetry.frames_decoded + telemetry.lost_frames
+        )
+        assert telemetry.lost_frames == 0
+        assert telemetry.crc_errors == 0
+
+    def test_delivery_identity(self, telemetry):
+        assert telemetry.words_delivered == (
+            telemetry.words_filtered - telemetry.words_suppressed
+        )
+
+    def test_peak_chunk_bytes(self, telemetry):
+        assert telemetry.peak_chunk_bytes == 3000 * 4 * 8
+
+    def test_stage_seconds_populated(self, telemetry):
+        assert set(telemetry.stage_seconds) == set(STAGES)
+        assert telemetry.stage_seconds["modulator"] > 0.0
+        assert telemetry.throughput_msps() > 0.0
+
+    def test_describe_mentions_all_stages(self, telemetry):
+        text = telemetry.describe()
+        assert "modulator" in text
+        assert "delivered" in text
+        assert "MS/s" in text
+
+
+class TestTelemetryValidation:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineTelemetry().add_stage_seconds("warp-drive", 1.0)
+
+    def test_reconcile_catches_bit_mismatch(self):
+        tm = PipelineTelemetry(mod_samples_in=100, bits_out=99)
+        with pytest.raises(ConfigurationError):
+            tm.reconcile()
+
+    def test_reconcile_catches_filter_overrun(self):
+        tm = PipelineTelemetry(
+            decimation_factor=128,
+            mod_samples_in=100,
+            bits_out=100,
+            words_filtered=2,
+        )
+        with pytest.raises(ConfigurationError):
+            tm.reconcile()
+
+    def test_reconcile_catches_frame_mismatch(self):
+        tm = PipelineTelemetry(frames_framed=3, frames_decoded=1, lost_frames=1)
+        with pytest.raises(ConfigurationError):
+            tm.reconcile()
+
+    def test_reconcile_catches_lost_words_on_lossless_link(self):
+        tm = PipelineTelemetry(
+            decimation_factor=128,
+            mod_samples_in=256,
+            bits_out=256,
+            words_filtered=2,
+            words_delivered=1,
+        )
+        with pytest.raises(ConfigurationError):
+            tm.reconcile(lossless=True)
+
+    def test_lossy_link_skips_delivery_identity(self):
+        tm = PipelineTelemetry(
+            decimation_factor=128,
+            mod_samples_in=256,
+            bits_out=256,
+            words_filtered=2,
+            words_delivered=1,
+            frames_framed=2,
+            frames_decoded=1,
+            lost_frames=1,
+        )
+        tm.reconcile()  # loss observed -> delivery identity not enforced
+
+    def test_throughput_zero_without_time(self):
+        assert PipelineTelemetry().throughput_msps() == 0.0

@@ -72,6 +72,29 @@ class TestTransportFaults:
         # The stream still assembles the surviving samples.
         assert stream.sample_count(0) == 200 - 16
 
+    def test_lost_samples_surface_in_recording(self):
+        """A dropped frame shows up as per-element ``lost_samples`` on the
+        ChainRecording, not just as a decoder-level frame count."""
+        chain = ReadoutChain(SystemParams(), rng=np.random.default_rng(4))
+        payload = self._frames()
+        cut = payload[: 40 * 3] + payload[40 * 4 :]
+        rec = chain._collect(cut, element=0)
+        assert rec.lost_frames == 1
+        assert rec.lost_samples == 16
+
+    def test_stream_totals_lost_samples_across_elements(self):
+        enc = FrameEncoder(samples_per_frame=8)
+        payload = b""
+        for element in (0, 1):
+            payload += enc.push(np.arange(64, dtype=np.int16), element=element)
+        # Drop one 24-byte frame from each element's run (8 frames each).
+        cut = payload[: 24 * 2] + payload[24 * 3 : 24 * 10] + payload[24 * 11 :]
+        dec = FrameDecoder()
+        stream = SampleStream()
+        stream.ingest(dec.feed(cut))
+        assert stream.lost_samples(0) + stream.lost_samples(1) == 16
+        assert stream.total_lost_samples() == 16
+
     def test_all_zero_garbage_yields_nothing(self):
         dec = FrameDecoder()
         assert dec.feed(b"\x00" * 1000) == []
