@@ -2,59 +2,20 @@
 
 Not in the paper, but the canonical fix for the 1/f noise any CMOS
 implementation of this front end fights: chop the first integrator and
-the amplifier's low-frequency noise moves out of band.
+the amplifier's low-frequency noise moves out of band. The measurement
+itself lives in ``repro.experiments.run_chopper_ablation``; this bench
+times it and pins the recovered-SNR floor.
 """
 
-import numpy as np
-from conftest import print_rows
+from conftest import print_rows, run_once
 
-from repro.dsp.cic import CICDecimator
-from repro.dsp.spectrum import analyze_tone, coherent_tone_frequency
-from repro.params import ModulatorParams, NonidealityParams
-from repro.sdm.chopper import ChoppedSecondOrderSDM
-
-FLICKERY = NonidealityParams(
-    sampling_cap_f=0.1e-12,
-    opamp_gain=1e12,
-    clock_jitter_s=0.0,
-    flicker_corner_hz=20000.0,
-)
-
-
-def _snr(chopped: bool, osr: int = 128, n_out: int = 2048) -> float:
-    fs = 128e3
-    out_rate = fs / osr
-    tone = coherent_tone_frequency(15.625, out_rate, n_out)
-    t = np.arange((n_out + 16) * osr) / fs
-    sdm = ChoppedSecondOrderSDM(
-        ModulatorParams(osr=osr), FLICKERY, enabled=chopped,
-        rng=np.random.default_rng(4),
-    )
-    bits = sdm.simulate(0.8 * np.sin(2 * np.pi * tone * t)).bitstream
-    cic = CICDecimator(order=3, decimation=osr, input_bits=2)
-    vals = (cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain)[
-        16 : 16 + n_out
-    ]
-    return float(
-        analyze_tone(vals, out_rate, tone_hz=tone, max_band_hz=500.0).snr_db
-    )
-
-
-def _run():
-    off = _snr(False)
-    on = _snr(True)
-    return off, on
+from repro.experiments import run_chopper_ablation
 
 
 def test_ablation_chopper(benchmark):
-    off, on = benchmark.pedantic(_run, rounds=1, iterations=1)
+    result = run_once(benchmark, run_chopper_ablation)
     print_rows(
         "ABL-CHOP — chopper stabilization vs flicker (20 kHz corner)",
-        [
-            ("SNR, chopping off [dB]", "(flicker-degraded)", f"{off:.1f}"),
-            ("SNR, chopping on [dB]", "(flicker shifted out of band)",
-             f"{on:.1f}"),
-            ("recovered [dB]", "> 4", f"{on - off:+.1f}"),
-        ],
+        result.rows(),
     )
-    assert on > off + 4.0
+    assert result.snr_on_db > result.snr_off_db + 4.0

@@ -9,13 +9,37 @@ runs beneath the sensor.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigurationError, SignalQualityError
+from ..parallel import ExecutorTelemetry, ParallelExecutor
 from .array2d import SensorArray
 from .mux import AnalogMultiplexer
+
+#: Master seed for the per-element noise streams of a parallel scan.
+#: Fixed so repeated scans (and any worker count) draw identically.
+_SCAN_SEED = 20040213
+
+
+def _scan_element_task(
+    item: tuple, seed: np.random.SeedSequence
+) -> np.ndarray:
+    """Record one element on a private chain copy (executor task).
+
+    The copy starts from the shared chain's pre-scan state — the same
+    "bank of matched modulators" semantics as the batched scan — and is
+    reseeded from the element's spawned child so per-element noise is
+    independent rather than a replay of identical draws. With a
+    noiseless configuration the records are bit-identical to the
+    batched path.
+    """
+    chain, segment, element = item
+    chain = copy.deepcopy(chain)
+    chain.chip.modulator.reseed(np.random.default_rng(seed))
+    return chain.record_pressure(segment, element=element).values
 
 
 @dataclass(frozen=True)
@@ -72,6 +96,8 @@ class ScanController:
         self.mux = mux
         self.dwell_samples = int(dwell_samples)
         self.discard_samples = int(discard_samples)
+        #: Telemetry of the most recent parallel scan (``jobs`` passed).
+        self.last_scan_telemetry: ExecutorTelemetry | None = None
 
     @property
     def array(self) -> SensorArray:
@@ -87,6 +113,7 @@ class ScanController:
         element_pressures_pa: np.ndarray,
         dwell_s: float = 2.0,
         batched: bool = False,
+        jobs: int | None = None,
     ) -> np.ndarray:
         """Sequence a chain through every element; return their records.
 
@@ -110,6 +137,16 @@ class ScanController:
             modulator call (a bank of matched modulators) instead of
             visiting them sequentially; the difference is confined to
             the post-switch words the FPGA suppresses.
+        jobs:
+            If given, fan the elements out over a
+            :class:`~repro.parallel.ParallelExecutor` pool of this
+            width (``batched`` is then ignored). Each element runs on a
+            private copy of the chain starting from its pre-scan state
+            — the batched semantics — with per-element noise streams
+            spawned from a fixed master seed, so the records are
+            bit-identical for every ``jobs`` value (and identical to
+            ``batched=True`` for noiseless configurations). The run's
+            telemetry lands in :attr:`last_scan_telemetry`.
         """
         pressures = np.asarray(element_pressures_pa, dtype=float)
         n_elements = self.array.n_elements
@@ -120,7 +157,17 @@ class ScanController:
                 "pressure field too short for the requested scan"
             )
         records = []
-        if batched:
+        if jobs is not None:
+            executor = ParallelExecutor(jobs=jobs)
+            items = [
+                (chain, pressures[k * dwell_mod : (k + 1) * dwell_mod], k)
+                for k in range(n_elements)
+            ]
+            records = executor.map(
+                _scan_element_task, items, seed=_SCAN_SEED
+            )
+            self.last_scan_telemetry = executor.telemetry
+        elif batched:
             mod_outs = chain.chip.acquire_pressure_scan(
                 pressures[: dwell_mod * n_elements], dwell_mod
             )
@@ -198,6 +245,7 @@ class ScanController:
         metric: str = "peak_to_peak",
         batched: bool = True,
         settle_words: int | None = None,
+        jobs: int | None = None,
     ) -> ElementSelection:
         """Drive a full scan through a readout chain and pick the winner.
 
@@ -221,9 +269,15 @@ class ScanController:
         settle_words:
             Output words discarded before the amplitude metric; defaults
             to this controller's ``discard_samples``.
+        jobs:
+            Worker count for a parallel scan (see :meth:`scan_records`).
         """
         records = self.scan_records(
-            chain, element_pressures_pa, dwell_s=dwell_s, batched=batched
+            chain,
+            element_pressures_pa,
+            dwell_s=dwell_s,
+            batched=batched,
+            jobs=jobs,
         )
         drop = self.discard_samples if settle_words is None else int(settle_words)
         settled = records[drop:]

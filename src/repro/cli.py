@@ -6,13 +6,19 @@
     python -m repro run fig7              # one experiment, table output
     python -m repro run fig7 --backend reference   # Python-loop modulator
     python -m repro run all               # everything (a few minutes)
+    python -m repro run population --jobs 4   # fan out over 4 workers
+    python -m repro population --jobs 4   # population + executor telemetry
+    python -m repro ablation osr --jobs 4 # ablation sweeps + telemetry
     python -m repro stream                # live chunked acquisition demo
     python -m repro describe              # print the system configuration
 
 Every experiment prints the same paper-vs-measured rows the benchmark
 suite asserts on; the CLI is the no-pytest entry point for quick looks.
 ``stream`` drives the chunked :class:`~repro.core.session.AcquisitionSession`
-pipeline with live per-stage telemetry.
+pipeline with live per-stage telemetry; ``population`` and ``ablation``
+are its multi-core counterparts, printing the
+:class:`~repro.parallel.ExecutorTelemetry` of the fan-out (``--jobs``
+never changes the numbers — see docs/THEORY.md §8).
 """
 
 from __future__ import annotations
@@ -68,12 +74,12 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
     ),
     "feedback": (
         "Sec. 4 — feedback-capacitor resolution knob",
-        lambda: experiments.run_feedback_ablation(),
+        lambda jobs=1: experiments.run_feedback_ablation(jobs=jobs),
         False,
     ),
     "osr": (
         "Sec. 4 — resolution vs conversion rate (OSR sweep)",
-        lambda: experiments.run_osr_ablation(),
+        lambda jobs=1: experiments.run_osr_ablation(jobs=jobs),
         False,
     ),
     "dynamic-range": (
@@ -96,9 +102,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
         lambda: experiments.run_robustness(),
         False,
     ),
+    "robustness-sweep": (
+        "Sec. 4 — field stressors over many seeded trials",
+        lambda jobs=1: experiments.run_robustness_sweep(jobs=jobs),
+        False,
+    ),
     "design-space": (
         "(order x OSR) ENOB grid and Pareto front",
-        lambda: experiments.run_design_space(),
+        lambda jobs=1: experiments.run_design_space(jobs=jobs),
         False,
     ),
     "pressure-linearity": (
@@ -108,9 +119,29 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
     ),
     "population": (
         "Fig. 9 protocol over a virtual population (AAMI stats)",
-        lambda backend="fast": experiments.run_population(backend=backend),
+        lambda backend="fast", jobs=1: experiments.run_population(
+            backend=backend, jobs=jobs
+        ),
         True,
     ),
+    "chopper": (
+        "chopper stabilization vs flicker noise (ABL-CHOP)",
+        lambda jobs=1: experiments.run_chopper_ablation(jobs=jobs),
+        False,
+    ),
+}
+
+#: Experiments whose runner fans out over the ParallelExecutor and
+#: accepts a ``jobs=`` keyword (surfaced as ``repro run --jobs``).
+#: Tracked separately from the registry tuples so tests that monkeypatch
+#: plain (description, runner, supports_backend) entries keep working.
+JOBS_AWARE = {
+    "feedback",
+    "osr",
+    "chopper",
+    "design-space",
+    "population",
+    "robustness-sweep",
 }
 
 
@@ -127,13 +158,33 @@ def _print_rows(title: str, rows: list[tuple[str, str, str]]) -> None:
 def cmd_list() -> int:
     print("available experiments:")
     for name, (description, _, supports_backend) in EXPERIMENTS.items():
-        flag = " [--backend]" if supports_backend else ""
-        print(f"  {name:<15} {description}{flag}")
-    print("  all             run everything")
+        flags = " [--backend]" if supports_backend else ""
+        if name in JOBS_AWARE:
+            flags += " [--jobs]"
+        print(f"  {name:<17} {description}{flags}")
+    print("  all               run everything")
     return 0
 
 
-def cmd_run(names: list[str], backend: str = "fast") -> int:
+def _print_telemetry(result) -> None:
+    """Print executor telemetry when the result carries a reconciled one."""
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is None:
+        return
+    telemetry.reconcile()
+    print(telemetry.describe())
+    print(
+        f"{telemetry.tasks_completed} task(s) on {telemetry.workers_used} "
+        f"worker(s); telemetry reconciles"
+    )
+
+
+def cmd_run(
+    names: list[str],
+    backend: str = "fast",
+    jobs: int = 1,
+    show_telemetry: bool = False,
+) -> int:
     if "all" in names:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -145,11 +196,82 @@ def cmd_run(names: list[str], backend: str = "fast") -> int:
         description, runner, supports_backend = EXPERIMENTS[name]
         if backend != "fast" and not supports_backend:
             print(f"note: {name} ignores --backend", file=sys.stderr)
+        if jobs != 1 and name not in JOBS_AWARE:
+            print(f"note: {name} ignores --jobs", file=sys.stderr)
+        kwargs = {}
+        if supports_backend:
+            kwargs["backend"] = backend
+        if name in JOBS_AWARE:
+            kwargs["jobs"] = jobs
         print(f"running {name}: {description} ...", flush=True)
         start = time.perf_counter()
-        result = runner(backend=backend) if supports_backend else runner()
+        result = runner(**kwargs)
         elapsed = time.perf_counter() - start
         _print_rows(f"{name} ({elapsed:.1f} s)", result.rows())
+        if show_telemetry:
+            _print_telemetry(result)
+        print()
+    return 0
+
+
+def cmd_population(
+    subjects: int = 10,
+    duration_s: float = 10.0,
+    jobs: int = 1,
+    backend: str = "fast",
+) -> int:
+    """Population run with the executor telemetry footer.
+
+    The multi-core counterpart of ``repro stream``: runs the Fig. 9
+    protocol over N virtual subjects through the
+    :class:`~repro.parallel.ParallelExecutor` and prints the executor's
+    per-worker telemetry the way ``stream`` prints the pipeline's.
+    """
+    if subjects < 3:
+        print("need >= 3 subjects", file=sys.stderr)
+        return 2
+    print(
+        f"population: {subjects} subject(s), {duration_s:.0f} s each, "
+        f"jobs={jobs} ...",
+        flush=True,
+    )
+    start = time.perf_counter()
+    result = experiments.run_population(
+        n_subjects=subjects,
+        duration_s=duration_s,
+        backend=backend,
+        jobs=jobs,
+    )
+    elapsed = time.perf_counter() - start
+    _print_rows(f"population ({elapsed:.1f} s)", result.rows())
+    _print_telemetry(result)
+    return 0
+
+
+#: Ablation subcommand registry: name -> runner accepting ``jobs=``.
+ABLATIONS: dict[str, Callable] = {
+    "feedback": lambda jobs=1: experiments.run_feedback_ablation(jobs=jobs),
+    "osr": lambda jobs=1: experiments.run_osr_ablation(jobs=jobs),
+    "chopper": lambda jobs=1: experiments.run_chopper_ablation(jobs=jobs),
+}
+
+
+def cmd_ablation(names: list[str], jobs: int = 1) -> int:
+    """Run ablation sweeps with the executor telemetry footer."""
+    if not names or "all" in names:
+        names = list(ABLATIONS)
+    unknown = [n for n in names if n not in ABLATIONS]
+    if unknown:
+        print(f"unknown ablation(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ABLATIONS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"ablation {name}: jobs={jobs} ...", flush=True)
+        start = time.perf_counter()
+        result = ABLATIONS[name](jobs=jobs)
+        elapsed = time.perf_counter() - start
+        _print_rows(f"{name} ({elapsed:.1f} s)", result.rows())
+        _print_telemetry(result)
         print()
     return 0
 
@@ -285,6 +407,18 @@ def main(argv: list[str] | None = None) -> int:
         help="modulator backend for experiments that support it "
         "(bit-identical; 'reference' is the slow pure-Python loop)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments that fan out over the "
+        "parallel executor (bit-identical for any value)",
+    )
+    run_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print the executor telemetry footer after each experiment",
+    )
     stream_parser = sub.add_parser(
         "stream", help="live chunked acquisition with per-stage telemetry"
     )
@@ -302,13 +436,56 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", choices=["fast", "reference"], default="fast",
         help="modulator backend",
     )
+    population_parser = sub.add_parser(
+        "population",
+        help="population run over the parallel executor, with telemetry",
+    )
+    population_parser.add_argument(
+        "--subjects", type=int, default=10, help="virtual subject count"
+    )
+    population_parser.add_argument(
+        "--duration", type=float, default=10.0,
+        help="record length per subject [s]",
+    )
+    population_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    population_parser.add_argument(
+        "--backend", choices=["fast", "reference"], default="fast",
+        help="modulator backend",
+    )
+    ablation_parser = sub.add_parser(
+        "ablation",
+        help="ablation sweeps over the parallel executor, with telemetry",
+    )
+    ablation_parser.add_argument(
+        "names", nargs="*",
+        help=f"ablations to run ({', '.join(ABLATIONS)}) or 'all'",
+    )
+    ablation_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
     sub.add_parser("describe", help="print the paper-default configuration")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.names, backend=args.backend)
+        return cmd_run(
+            args.names,
+            backend=args.backend,
+            jobs=args.jobs,
+            show_telemetry=args.telemetry,
+        )
+    if args.command == "population":
+        return cmd_population(
+            subjects=args.subjects,
+            duration_s=args.duration,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
+    if args.command == "ablation":
+        return cmd_ablation(args.names, jobs=args.jobs)
     if args.command == "stream":
         return cmd_stream(
             duration_s=args.duration,

@@ -144,6 +144,7 @@ class ReadoutChain:
         element_pressures_pa: np.ndarray,
         dwell_s: float = 2.0,
         batched: bool = False,
+        jobs: int | None = None,
     ) -> np.ndarray:
         """Visit every element for ``dwell_s`` and return their records.
 
@@ -162,10 +163,20 @@ class ReadoutChain:
         from the modulator's pre-scan state instead of the previous
         element's final state; the difference is confined to the
         post-switch words the FPGA already suppresses.
+
+        ``jobs`` fans the elements out over a
+        :class:`~repro.parallel.ParallelExecutor` pool on private chain
+        copies (see
+        :meth:`~repro.array.scan.ScanController.scan_records`); results
+        are bit-identical for every worker count.
         """
         from ..array.scan import ScanController
 
         controller = ScanController(self.chip.mux)
         return controller.scan_records(
-            self, element_pressures_pa, dwell_s=dwell_s, batched=batched
+            self,
+            element_pressures_pa,
+            dwell_s=dwell_s,
+            batched=batched,
+            jobs=jobs,
         )

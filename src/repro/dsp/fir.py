@@ -20,6 +20,7 @@ import numpy as np
 from scipy import signal
 
 from ..errors import ConfigurationError
+from ..parallel.cache import precompute_cache
 from .cic import CICDecimator
 from .fixed_point import QFormat
 
@@ -32,6 +33,14 @@ def design_compensation_fir(
     transition_hz: float | None = None,
 ) -> np.ndarray:
     """Design the droop-compensating low-pass FIR (float coefficients).
+
+    The design depends only on the scalar arguments and the CIC's
+    (order, decimation, differential delay), so the result is memoized
+    in the process-local :func:`~repro.parallel.cache.precompute_cache`:
+    building many :class:`~repro.core.chain.ReadoutChain`\\ s (one per
+    virtual subject, one per pool worker task) runs ``firwin2`` once per
+    process. The returned array is shared and marked read-only; copy it
+    before mutating.
 
     Parameters
     ----------
@@ -59,6 +68,31 @@ def design_compensation_fir(
     if cutoff_hz + transition / 2.0 >= nyquist:
         raise ConfigurationError("transition band extends past Nyquist")
 
+    key = (
+        "fir_design",
+        int(taps),
+        float(input_rate_hz),
+        float(cutoff_hz),
+        float(transition),
+        None if cic is None else (cic.order, cic.decimation, cic.diff_delay),
+    )
+    return precompute_cache().get(
+        key,
+        lambda: _design_compensation_fir(
+            taps, input_rate_hz, cutoff_hz, cic, transition
+        ),
+    )
+
+
+def _design_compensation_fir(
+    taps: int,
+    input_rate_hz: float,
+    cutoff_hz: float,
+    cic: CICDecimator | None,
+    transition: float,
+) -> np.ndarray:
+    """The actual firwin2 design behind the cache front."""
+    nyquist = input_rate_hz / 2.0
     # Dense frequency grid for firwin2.
     n_grid = 512
     freqs = np.linspace(0.0, nyquist, n_grid)
@@ -86,6 +120,8 @@ def design_compensation_fir(
     coeffs = signal.firwin2(taps, freqs / nyquist, gains, window="hamming")
     # Normalize exact DC gain to the droop-compensation value at DC (=1).
     coeffs = coeffs / coeffs.sum() * gains[0]
+    # Cached values are shared between chains; freeze against mutation.
+    coeffs.setflags(write=False)
     return coeffs
 
 

@@ -20,6 +20,13 @@ EXPERIMENTS.md numbers come from running them at full length.
 | ABL-NOISE | :func:`noise_budget.run_noise_budget`     | analog budget behind the 72 dB |
 | ABL-ARCH  | :func:`architectures.run_architecture_comparison` | Sec. 4: order / multi-bit routes |
 | ROBUST    | :func:`robustness.run_robustness`         | Sec. 4: "field tests ... reliability and stability" |
+| ABL-CHOP  | :func:`ablations.run_chopper_ablation`    | (not in paper) chopper vs flicker noise |
+| ROBUST-SW | :func:`robustness.run_robustness_sweep`   | Sec. 4 field tests, many seeded trials |
+
+The sweep-style harnesses (population, design space, the ablations, the
+robustness sweep) fan their independent work items out over a
+:class:`~repro.parallel.ParallelExecutor` pool — pass ``jobs=N`` — and
+are bit-identical for every worker count.
 """
 
 from .fig7_spectrum import Fig7Result, run_fig7
@@ -30,15 +37,22 @@ from .settling import MuxSettlingResult, run_mux_settling
 from .localization import LocalizationResult, run_localization
 from .baseline_comparison import BaselineComparisonResult, run_baseline_comparison
 from .ablations import (
+    ChopperAblationResult,
     FeedbackAblationResult,
     OSRAblationResult,
+    run_chopper_ablation,
     run_feedback_ablation,
     run_osr_ablation,
 )
 from .dynamic_range import DynamicRangeResult, run_dynamic_range
 from .noise_budget import NoiseBudgetResult, run_noise_budget
 from .architectures import ArchitectureResult, run_architecture_comparison
-from .robustness import RobustnessResult, run_robustness
+from .robustness import (
+    RobustnessResult,
+    RobustnessSweepResult,
+    run_robustness,
+    run_robustness_sweep,
+)
 from .design_space import DesignSpaceResult, run_design_space
 from .pressure_linearity import PressureLinearityResult, run_pressure_linearity
 from .population import PopulationResult, run_population
@@ -46,6 +60,7 @@ from .population import PopulationResult, run_population
 __all__ = [
     "ArchitectureResult",
     "BaselineComparisonResult",
+    "ChopperAblationResult",
     "DesignSpaceResult",
     "DynamicRangeResult",
     "FeedbackAblationResult",
@@ -59,9 +74,11 @@ __all__ = [
     "PopulationResult",
     "PressureLinearityResult",
     "RobustnessResult",
+    "RobustnessSweepResult",
     "SpecTable",
     "run_architecture_comparison",
     "run_baseline_comparison",
+    "run_chopper_ablation",
     "run_design_space",
     "run_dynamic_range",
     "run_feedback_ablation",
@@ -75,5 +92,6 @@ __all__ = [
     "run_population",
     "run_pressure_linearity",
     "run_robustness",
+    "run_robustness_sweep",
     "run_table_specs",
 ]

@@ -13,6 +13,15 @@ conversion rate would be desirable."
   fixed modulator clock) and measures ENOB — the resolution-vs-rate
   trade-off behind "an increased conversion rate would be desirable",
   including the 1st-order-loop comparison (DESIGN.md §5 ablation).
+* :func:`run_chopper_ablation` (ABL-CHOP) measures the SNR recovered by
+  chopping the first integrator on a loop with a deliberately bad
+  flicker corner — the canonical CMOS fix for the 1/f noise the paper's
+  front end fights.
+
+Every sweep arm is an independent deterministic task (fixed per-arm
+seeds), so all three harnesses fan out over a
+:class:`~repro.parallel.ParallelExecutor` pool and are bit-identical
+for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -24,7 +33,9 @@ import numpy as np
 from ..dsp.cic import CICDecimator
 from ..dsp.spectrum import analyze_tone, coherent_tone_frequency, enob_from_sndr
 from ..errors import ConfigurationError
+from ..parallel import ExecutorTelemetry, ParallelExecutor
 from ..params import ModulatorParams, NonidealityParams, SystemParams
+from ..sdm.chopper import ChoppedSecondOrderSDM
 from ..sdm.feedback import FeedbackDAC
 from ..sdm.modulator import SecondOrderSDM
 
@@ -37,6 +48,8 @@ class FeedbackAblationResult:
     snr_db: np.ndarray
     clipped_fraction: np.ndarray
     stimulus_fraction_of_nominal_fs: float
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
 
     @property
     def best_ratio(self) -> float:
@@ -69,11 +82,54 @@ class FeedbackAblationResult:
         ]
 
 
+def _feedback_task(
+    item: tuple[SystemParams, float, float, int],
+) -> tuple[float, float]:
+    """(SNR, clipped fraction) of one Cfb-ratio arm (executor task)."""
+    params, ratio, stimulus_fraction, n_out = item
+    mod_params = params.modulator
+    osr = mod_params.osr
+    fs = mod_params.sampling_rate_hz
+    out_rate = fs / osr
+    tone = coherent_tone_frequency(15.625, out_rate, n_out)
+    n_mod = (n_out + 32) * osr
+    t = np.arange(n_mod) / fs
+    # Stimulus fixed in capacitance-equivalent units: at nominal Cfb it
+    # spans `stimulus_fraction` of the loop full scale.
+    base_u = stimulus_fraction * np.sin(2.0 * np.pi * tone * t)
+
+    dac = FeedbackDAC(cfb_ratio=float(ratio))
+    sdm = SecondOrderSDM(
+        params=mod_params,
+        nonideality=params.nonideality,
+        dac=dac,
+        rng=np.random.default_rng(42),
+    )
+    # Shrinking the physical Cfb boosts the front-end gain by 1/ratio.
+    u = base_u * dac.conversion_gain_boost / 1.0
+    # ... but the loop's own full scale also scales with b1; the
+    # simulation captures both effects faithfully.
+    out = sdm.simulate(u)
+    clipped = out.clipped_samples / n_mod
+    cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+    stream = cic.process(out.bitstream.astype(np.int64))
+    vals = stream.astype(float)[32 : 32 + n_out] / cic.dc_gain
+    try:
+        snr = analyze_tone(
+            vals, out_rate, tone_hz=tone, max_band_hz=500.0
+        ).snr_db
+    except Exception:
+        snr = float("nan")
+    return (float(snr), float(clipped))
+
+
 def run_feedback_ablation(
     params: SystemParams | None = None,
     cfb_ratios: np.ndarray | None = None,
     stimulus_fraction: float = 0.25,
     n_out: int = 2048,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> FeedbackAblationResult:
     """Sweep the feedback-capacitor ratio at a fixed small stimulus.
 
@@ -88,48 +144,19 @@ def run_feedback_ablation(
     if not 0 < stimulus_fraction < 1:
         raise ConfigurationError("stimulus fraction must be in (0, 1)")
 
-    mod_params = params.modulator
-    osr = mod_params.osr
-    fs = mod_params.sampling_rate_hz
-    out_rate = fs / osr
-    tone = coherent_tone_frequency(15.625, out_rate, n_out)
-    n_mod = (n_out + 32) * osr
-    t = np.arange(n_mod) / fs
-    # Stimulus fixed in capacitance-equivalent units: at nominal Cfb it
-    # spans `stimulus_fraction` of the loop full scale.
-    base_u = stimulus_fraction * np.sin(2.0 * np.pi * tone * t)
-
-    snrs = np.empty(cfb_ratios.size)
-    clipped = np.empty(cfb_ratios.size)
-    cic = CICDecimator(order=3, decimation=osr, input_bits=2)
-    for i, ratio in enumerate(np.asarray(cfb_ratios, dtype=float)):
-        dac = FeedbackDAC(cfb_ratio=float(ratio))
-        sdm = SecondOrderSDM(
-            params=mod_params,
-            nonideality=params.nonideality,
-            dac=dac,
-            rng=np.random.default_rng(42),
-        )
-        # Shrinking the physical Cfb boosts the front-end gain by 1/ratio.
-        u = base_u * dac.conversion_gain_boost / 1.0
-        # ... but the loop's own full scale also scales with b1; the
-        # simulation captures both effects faithfully.
-        out = sdm.simulate(u)
-        clipped[i] = out.clipped_samples / n_mod
-        stream = cic.process(out.bitstream.astype(np.int64))
-        cic.reset()
-        vals = stream.astype(float)[32 : 32 + n_out] / cic.dc_gain
-        try:
-            snrs[i] = analyze_tone(
-                vals, out_rate, tone_hz=tone, max_band_hz=500.0
-            ).snr_db
-        except Exception:
-            snrs[i] = float("nan")
+    ratios = np.asarray(cfb_ratios, dtype=float)
+    items = [
+        (params, float(ratio), float(stimulus_fraction), int(n_out))
+        for ratio in ratios
+    ]
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    arms = executor.map(_feedback_task, items)
     return FeedbackAblationResult(
-        cfb_ratios=np.asarray(cfb_ratios, dtype=float),
-        snr_db=snrs,
-        clipped_fraction=clipped,
+        cfb_ratios=ratios,
+        snr_db=np.array([arm[0] for arm in arms]),
+        clipped_fraction=np.array([arm[1] for arm in arms]),
         stimulus_fraction_of_nominal_fs=stimulus_fraction,
+        telemetry=executor.telemetry,
     )
 
 
@@ -143,6 +170,8 @@ class OSRAblationResult:
     conversion_rates_hz: np.ndarray
     slope_2nd_bits_per_octave: float
     slope_1st_bits_per_octave: float
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
 
     def rows(self) -> list[tuple[str, str, str]]:
         idx128 = int(np.argmin(np.abs(self.osrs - 128)))
@@ -183,11 +212,56 @@ def _first_order_bitstream(
     return bits
 
 
+def _osr_task(
+    item: tuple[float, int, float, int],
+) -> tuple[float, float, float]:
+    """(ENOB 2nd, ENOB 1st, out rate) at one OSR (executor task).
+
+    Both loops are ideal (no stochastic draws), so the fresh per-cell
+    generator makes the cell bit-identical to the legacy serial sweep
+    that shared one generator across cells.
+    """
+    fs, osr, amplitude, n_out = item
+    rng = np.random.default_rng(4242)
+    out_rate = fs / osr
+    tone = coherent_tone_frequency(out_rate / 64.0, out_rate, n_out)
+    n_mod = (n_out + 16) * osr
+    t = np.arange(n_mod) / fs
+    u = amplitude * np.sin(2.0 * np.pi * tone * t)
+
+    mod_params = ModulatorParams(sampling_rate_hz=fs, osr=int(osr))
+    sdm = SecondOrderSDM(
+        params=mod_params,
+        nonideality=NonidealityParams.ideal(),
+        rng=rng,
+    )
+    bits2 = sdm.simulate(u).bitstream
+    cic3 = CICDecimator(order=3, decimation=int(osr), input_bits=2)
+    vals2 = (
+        cic3.process(bits2.astype(np.int64)).astype(float) / cic3.dc_gain
+    )[16 : 16 + n_out]
+    a2 = analyze_tone(vals2, out_rate, tone_hz=tone)
+
+    bits1 = _first_order_bitstream(u, rng)
+    cic2 = CICDecimator(order=2, decimation=int(osr), input_bits=2)
+    vals1 = (
+        cic2.process(bits1.astype(np.int64)).astype(float) / cic2.dc_gain
+    )[16 : 16 + n_out]
+    a1 = analyze_tone(vals1, out_rate, tone_hz=tone)
+    return (
+        float(enob_from_sndr(a2.snr_db)),
+        float(enob_from_sndr(a1.snr_db)),
+        float(out_rate),
+    )
+
+
 def run_osr_ablation(
     params: SystemParams | None = None,
     osrs: np.ndarray | None = None,
     amplitude: float = 0.5,
     n_out: int = 2048,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> OSRAblationResult:
     """Sweep OSR, measuring ENOB via sinc^(N+1) decimation (no 12-bit
     quantizer, so the modulator's own scaling is visible)."""
@@ -199,43 +273,14 @@ def run_osr_ablation(
         raise ConfigurationError("OSR sweep must stay >= 4")
 
     fs = params.modulator.sampling_rate_hz
-    rng = np.random.default_rng(4242)
-    enob2 = np.empty(osrs.size)
-    enob1 = np.empty(osrs.size)
-    rates = np.empty(osrs.size)
-    for i, osr in enumerate(osrs):
-        out_rate = fs / osr
-        rates[i] = out_rate
-        tone = coherent_tone_frequency(
-            out_rate / 64.0, out_rate, n_out
-        )
-        n_mod = (n_out + 16) * osr
-        t = np.arange(n_mod) / fs
-        u = amplitude * np.sin(2.0 * np.pi * tone * t)
-
-        mod_params = ModulatorParams(
-            sampling_rate_hz=fs, osr=int(osr)
-        )
-        sdm = SecondOrderSDM(
-            params=mod_params,
-            nonideality=NonidealityParams.ideal(),
-            rng=rng,
-        )
-        bits2 = sdm.simulate(u).bitstream
-        cic3 = CICDecimator(order=3, decimation=int(osr), input_bits=2)
-        vals2 = (
-            cic3.process(bits2.astype(np.int64)).astype(float) / cic3.dc_gain
-        )[16 : 16 + n_out]
-        a2 = analyze_tone(vals2, out_rate, tone_hz=tone)
-        enob2[i] = enob_from_sndr(a2.snr_db)
-
-        bits1 = _first_order_bitstream(u, rng)
-        cic2 = CICDecimator(order=2, decimation=int(osr), input_bits=2)
-        vals1 = (
-            cic2.process(bits1.astype(np.int64)).astype(float) / cic2.dc_gain
-        )[16 : 16 + n_out]
-        a1 = analyze_tone(vals1, out_rate, tone_hz=tone)
-        enob1[i] = enob_from_sndr(a1.snr_db)
+    items = [
+        (float(fs), int(osr), float(amplitude), int(n_out)) for osr in osrs
+    ]
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    cells = executor.map(_osr_task, items)
+    enob2 = np.array([cell[0] for cell in cells])
+    enob1 = np.array([cell[1] for cell in cells])
+    rates = np.array([cell[2] for cell in cells])
 
     def slope(enobs: np.ndarray) -> float:
         octaves = np.log2(osrs / osrs[0])
@@ -249,4 +294,92 @@ def run_osr_ablation(
         conversion_rates_hz=rates,
         slope_2nd_bits_per_octave=slope(enob2),
         slope_1st_bits_per_octave=slope(enob1),
+        telemetry=executor.telemetry,
+    )
+
+
+@dataclass(frozen=True)
+class ChopperAblationResult:
+    """SNR with first-integrator chopping off vs on (ABL-CHOP)."""
+
+    snr_off_db: float
+    snr_on_db: float
+    flicker_corner_hz: float
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
+
+    @property
+    def recovered_db(self) -> float:
+        return self.snr_on_db - self.snr_off_db
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        return [
+            (
+                "SNR, chopping off [dB]",
+                "(flicker-degraded)",
+                f"{self.snr_off_db:.1f}",
+            ),
+            (
+                "SNR, chopping on [dB]",
+                "(flicker shifted out of band)",
+                f"{self.snr_on_db:.1f}",
+            ),
+            ("recovered [dB]", "> 4", f"{self.recovered_db:+.1f}"),
+        ]
+
+
+def _chopper_task(item: tuple[bool, int, int, float]) -> float:
+    """SNR of one chopper arm (executor task, fixed per-arm seed)."""
+    chopped, osr, n_out, flicker_corner_hz = item
+    flickery = NonidealityParams(
+        sampling_cap_f=0.1e-12,
+        opamp_gain=1e12,
+        clock_jitter_s=0.0,
+        flicker_corner_hz=flicker_corner_hz,
+    )
+    fs = 128e3
+    out_rate = fs / osr
+    tone = coherent_tone_frequency(15.625, out_rate, n_out)
+    t = np.arange((n_out + 16) * osr) / fs
+    sdm = ChoppedSecondOrderSDM(
+        ModulatorParams(osr=osr),
+        flickery,
+        enabled=chopped,
+        rng=np.random.default_rng(4),
+    )
+    bits = sdm.simulate(0.8 * np.sin(2 * np.pi * tone * t)).bitstream
+    cic = CICDecimator(order=3, decimation=osr, input_bits=2)
+    vals = (cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain)[
+        16 : 16 + n_out
+    ]
+    return float(
+        analyze_tone(vals, out_rate, tone_hz=tone, max_band_hz=500.0).snr_db
+    )
+
+
+def run_chopper_ablation(
+    osr: int = 128,
+    n_out: int = 2048,
+    flicker_corner_hz: float = 20e3,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> ChopperAblationResult:
+    """Measure the SNR recovered by chopping on a flicker-heavy loop.
+
+    Not in the paper, but the canonical fix for the 1/f noise any CMOS
+    implementation of this front end fights: chop the first integrator
+    and the amplifier's low-frequency noise moves out of band. Both arms
+    use the same fixed seed, so the comparison isolates the chopper.
+    """
+    items = [
+        (False, int(osr), int(n_out), float(flicker_corner_hz)),
+        (True, int(osr), int(n_out), float(flicker_corner_hz)),
+    ]
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    off, on = executor.map(_chopper_task, items)
+    return ChopperAblationResult(
+        snr_off_db=off,
+        snr_on_db=on,
+        flicker_corner_hz=float(flicker_corner_hz),
+        telemetry=executor.telemetry,
     )

@@ -16,6 +16,7 @@ import numpy as np
 from ..dsp.cic import CICDecimator
 from ..dsp.spectrum import analyze_tone, coherent_tone_frequency, enob_from_sndr
 from ..errors import ConfigurationError
+from ..parallel import ExecutorTelemetry, ParallelExecutor
 from ..params import SystemParams
 from ..sdm.higher_order import HigherOrderSDM
 
@@ -28,6 +29,8 @@ class DesignSpaceResult:
     osrs: np.ndarray
     enob: np.ndarray  # shape (len(orders), len(osrs))
     conversion_rates_hz: np.ndarray
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
 
     def pareto_front(self) -> list[tuple[float, float, int, int]]:
         """(rate, enob, order, osr) points not dominated by any other."""
@@ -93,13 +96,41 @@ class DesignSpaceResult:
         return out
 
 
+def _cell_task(item: tuple[float, int, int, int]) -> float:
+    """ENOB of one (order, OSR) grid cell (executor task)."""
+    fs, order, osr, n_out = item
+    out_rate = fs / osr
+    tone = coherent_tone_frequency(out_rate / 64, out_rate, n_out)
+    t = np.arange((n_out + 16) * osr) / fs
+    sdm = HigherOrderSDM(order=order)
+    amp = sdm.recommended_max_amplitude
+    bits = sdm.simulate(amp * np.sin(2.0 * np.pi * tone * t)).bitstream
+    cic = CICDecimator(order=order + 1, decimation=int(osr), input_bits=2)
+    vals = (cic.process(bits.astype(np.int64)).astype(float) / cic.dc_gain)[
+        16 : 16 + n_out
+    ]
+    analysis = analyze_tone(vals, out_rate, tone_hz=tone)
+    # ENOB at each architecture's own maximum stable amplitude —
+    # the comparison a designer actually faces (higher orders pay
+    # their reduced stable range here automatically).
+    return enob_from_sndr(analysis.snr_db)
+
+
 def run_design_space(
     params: SystemParams | None = None,
     orders: tuple[int, ...] = (1, 2, 3),
     osrs: np.ndarray | None = None,
     n_out: int = 1024,
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> DesignSpaceResult:
-    """Measure the ENOB grid (ideal loops, float sinc^(N+1) decimation)."""
+    """Measure the ENOB grid (ideal loops, float sinc^(N+1) decimation).
+
+    Grid cells are independent and deterministic (ideal loops draw no
+    randomness), so they fan out over a
+    :class:`~repro.parallel.ParallelExecutor` pool; the grid is
+    bit-identical for every ``jobs`` value.
+    """
     params = params or SystemParams()
     if osrs is None:
         osrs = np.array([16, 32, 64, 128, 256])
@@ -108,33 +139,19 @@ def run_design_space(
         raise ConfigurationError("orders must be within 1..4")
 
     fs = params.modulator.sampling_rate_hz
-    enob = np.full((len(orders), osrs.size), np.nan)
     rates = fs / osrs
-    for i, order in enumerate(orders):
-        for j, osr in enumerate(osrs):
-            out_rate = fs / osr
-            tone = coherent_tone_frequency(out_rate / 64, out_rate, n_out)
-            t = np.arange((n_out + 16) * osr) / fs
-            sdm = HigherOrderSDM(order=order)
-            amp = sdm.recommended_max_amplitude
-            bits = sdm.simulate(
-                amp * np.sin(2.0 * np.pi * tone * t)
-            ).bitstream
-            cic = CICDecimator(
-                order=order + 1, decimation=int(osr), input_bits=2
-            )
-            vals = (
-                cic.process(bits.astype(np.int64)).astype(float)
-                / cic.dc_gain
-            )[16 : 16 + n_out]
-            analysis = analyze_tone(vals, out_rate, tone_hz=tone)
-            # ENOB at each architecture's own maximum stable amplitude —
-            # the comparison a designer actually faces (higher orders pay
-            # their reduced stable range here automatically).
-            enob[i, j] = enob_from_sndr(analysis.snr_db)
+    items = [
+        (float(fs), int(order), int(osr), int(n_out))
+        for order in orders
+        for osr in osrs
+    ]
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    cells = executor.map(_cell_task, items)
+    enob = np.asarray(cells, dtype=float).reshape(len(orders), osrs.size)
     return DesignSpaceResult(
         orders=tuple(orders),
         osrs=osrs,
         enob=enob,
         conversion_rates_hz=rates,
+        telemetry=executor.telemetry,
     )

@@ -20,6 +20,7 @@ from ..baselines.cuff import OscillometricCuff
 from ..core.chain import ReadoutChain
 from ..core.monitor import BloodPressureMonitor
 from ..errors import ConfigurationError
+from ..parallel import ExecutorTelemetry, ParallelExecutor
 from ..params import PASCAL_PER_MMHG, PatientParams, SystemParams
 from ..physiology.patient import VirtualPatient
 from ..tonometry.contact import ContactModel
@@ -35,6 +36,8 @@ class PopulationResult:
     diastolic_errors_mmhg: np.ndarray
     waveform_rms_mmhg: np.ndarray
     subjects: tuple[dict, ...]
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
 
     @property
     def n_subjects(self) -> int:
@@ -84,70 +87,88 @@ class PopulationResult:
         ]
 
 
+def _subject_task(
+    item: tuple[SystemParams, float, str], seed: np.random.SeedSequence
+) -> tuple[float, float, float, dict]:
+    """Measure one virtual subject end to end (executor task)."""
+    params, duration_s, backend = item
+    rng = np.random.default_rng(seed)
+    systolic = float(rng.uniform(100.0, 160.0))
+    diastolic = float(rng.uniform(60.0, min(95.0, systolic - 30.0)))
+    heart_rate = float(rng.uniform(55.0, 95.0))
+    offset = float(rng.uniform(-1.0e-3, 1.0e-3))
+
+    patient_params = PatientParams(
+        systolic_mmhg=systolic,
+        diastolic_mmhg=diastolic,
+        heart_rate_bpm=heart_rate,
+    )
+    patient = VirtualPatient(patient_params, rng=rng)
+    map_pa = (diastolic + (systolic - diastolic) / 3.0) * PASCAL_PER_MMHG
+
+    chain = ReadoutChain(params, rng=rng, backend=backend)
+    contact = ContactModel(
+        contact=params.contact,
+        tissue=params.tissue,
+        mean_arterial_pressure_pa=map_pa,
+    )
+    coupling = TonometricCoupling(
+        chain.chip.array.geometry,
+        contact,
+        placement=ArrayPlacement(lateral_offset_m=offset),
+        rng=rng,
+    )
+    monitor = BloodPressureMonitor(chain, coupling, cuff=OscillometricCuff())
+    result = monitor.measure(
+        patient, duration_s=duration_s, scan_dwell_s=0.5, rng=rng
+    )
+    subject = {
+        "systolic": systolic,
+        "diastolic": diastolic,
+        "heart_rate": heart_rate,
+        "placement_offset_mm": offset * 1e3,
+    }
+    return (
+        result.systolic_error_mmhg,
+        result.diastolic_error_mmhg,
+        result.waveform_rms_error_mmhg(),
+        subject,
+    )
+
+
 def run_population(
     params: SystemParams | None = None,
     n_subjects: int = 10,
     duration_s: float = 10.0,
     seed: int = 4040,
     backend: str = "fast",
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> PopulationResult:
-    """Run the full protocol over a diversified virtual population."""
+    """Run the full protocol over a diversified virtual population.
+
+    Subjects are independent work items: they fan out over a
+    :class:`~repro.parallel.ParallelExecutor` pool. Each subject's
+    generator is seeded from the ``SeedSequence.spawn`` child at its
+    subject index, so the result is bit-identical for every ``jobs``
+    value (including the in-process ``jobs=1`` default).
+    """
     params = params or SystemParams()
     if n_subjects < 3:
         raise ConfigurationError("need >= 3 subjects for statistics")
-    master = np.random.default_rng(seed)
 
-    sys_errors, dia_errors, rms_errors = [], [], []
-    subjects: list[dict] = []
-    for k in range(n_subjects):
-        rng = np.random.default_rng(master.integers(0, 2**31))
-        systolic = float(rng.uniform(100.0, 160.0))
-        diastolic = float(rng.uniform(60.0, min(95.0, systolic - 30.0)))
-        heart_rate = float(rng.uniform(55.0, 95.0))
-        offset = float(rng.uniform(-1.0e-3, 1.0e-3))
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    items = [(params, float(duration_s), backend)] * n_subjects
+    rows = executor.map(_subject_task, items, seed=seed)
 
-        patient_params = PatientParams(
-            systolic_mmhg=systolic,
-            diastolic_mmhg=diastolic,
-            heart_rate_bpm=heart_rate,
-        )
-        patient = VirtualPatient(patient_params, rng=rng)
-        map_pa = (
-            diastolic + (systolic - diastolic) / 3.0
-        ) * PASCAL_PER_MMHG
-
-        chain = ReadoutChain(params, rng=rng, backend=backend)
-        contact = ContactModel(
-            contact=params.contact,
-            tissue=params.tissue,
-            mean_arterial_pressure_pa=map_pa,
-        )
-        coupling = TonometricCoupling(
-            chain.chip.array.geometry,
-            contact,
-            placement=ArrayPlacement(lateral_offset_m=offset),
-            rng=rng,
-        )
-        monitor = BloodPressureMonitor(
-            chain, coupling, cuff=OscillometricCuff()
-        )
-        result = monitor.measure(
-            patient, duration_s=duration_s, scan_dwell_s=0.5, rng=rng
-        )
-        sys_errors.append(result.systolic_error_mmhg)
-        dia_errors.append(result.diastolic_error_mmhg)
-        rms_errors.append(result.waveform_rms_error_mmhg())
-        subjects.append(
-            {
-                "systolic": systolic,
-                "diastolic": diastolic,
-                "heart_rate": heart_rate,
-                "placement_offset_mm": offset * 1e3,
-            }
-        )
+    sys_errors = [row[0] for row in rows]
+    dia_errors = [row[1] for row in rows]
+    rms_errors = [row[2] for row in rows]
+    subjects = [row[3] for row in rows]
     return PopulationResult(
         systolic_errors_mmhg=np.array(sys_errors),
         diastolic_errors_mmhg=np.array(dia_errors),
         waveform_rms_mmhg=np.array(rms_errors),
         subjects=tuple(subjects),
+        telemetry=executor.telemetry,
     )

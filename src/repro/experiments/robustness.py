@@ -26,6 +26,7 @@ from ..calibration.drift import DriftMonitor, RecalibrationPolicy
 from ..calibration.features import detect_beats
 from ..calibration.twopoint import TwoPointCalibration
 from ..errors import ConfigurationError
+from ..parallel import ExecutorTelemetry, ParallelExecutor
 from ..mems.thermal import (
     ThermalMembraneModel,
     ThermalState,
@@ -105,13 +106,23 @@ def run_robustness(
     params: SystemParams | None = None,
     duration_s: float = 30.0,
     rng: np.random.Generator | None = None,
+    artifact_rng: np.random.Generator | None = None,
+    servo_rng: np.random.Generator | None = None,
 ) -> RobustnessResult:
     """Run all three field stressors (physiology-level; no modulator loop
-    needed, so this is fast despite the long simulated durations)."""
+    needed, so this is fast despite the long simulated durations).
+
+    ``artifact_rng`` draws the motion-artifact schedule and ``servo_rng``
+    the hold-down oracle's readout noise; both default to the fixed
+    seeds earlier revisions hard-coded, so single runs are unchanged.
+    :func:`run_robustness_sweep` passes per-trial spawned generators.
+    """
     params = params or SystemParams()
     if duration_s < 15.0:
         raise ConfigurationError("need >= 15 s for artifact statistics")
     rng = rng or np.random.default_rng(7007)
+    artifact_rng = artifact_rng or np.random.default_rng(7008)
+    servo_rng = servo_rng or np.random.default_rng(4242)
     fs = 250.0
 
     # ---- 1. Motion artifacts ------------------------------------------------
@@ -119,7 +130,7 @@ def run_robustness(
     truth = patient.record(duration_s=duration_s, sample_rate_hz=fs)
     artifacts = MotionArtifactGenerator(
         tap_rate_per_min=10.0, flexion_rate_per_min=4.0
-    ).generate(duration_s, fs, rng=np.random.default_rng(7008))
+    ).generate(duration_s, fs, rng=artifact_rng)
     contaminated = truth.pressure_mmhg + artifacts.pressure_mmhg
 
     detector = ArtifactDetector()
@@ -179,8 +190,6 @@ def run_robustness(
         tissue=params.tissue,
         mean_arterial_pressure_pa=(80 + 40 / 3) * PASCAL_PER_MMHG,
     )
-    servo_rng = np.random.default_rng(4242)
-
     def oracle(hold_pa: float) -> float:
         # Pulse amplitude ~ transmission * pulse pressure, + readout noise.
         trans = float(contact.transmission(hold_pa))
@@ -211,3 +220,103 @@ class _anchor:
     def __init__(self, sys_raw: float, dia_raw: float):
         self.mean_systolic_raw = sys_raw
         self.mean_diastolic_raw = dia_raw
+
+
+@dataclass(frozen=True)
+class RobustnessSweepResult:
+    """Field-stressor outcomes over many independently-seeded trials."""
+
+    artifact_sensitivity: np.ndarray
+    artifact_specificity: np.ndarray
+    sys_error_no_rejection_mmhg: np.ndarray
+    sys_error_with_rejection_mmhg: np.ndarray
+    servo_error_pa: np.ndarray
+    #: Executor counters of the run that produced this result.
+    telemetry: ExecutorTelemetry | None = None
+
+    @property
+    def n_trials(self) -> int:
+        return self.artifact_sensitivity.size
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        recovered = np.abs(self.sys_error_with_rejection_mmhg)
+        return [
+            ("trials", "(field-test repeats)", f"{self.n_trials}"),
+            (
+                "artifact sensitivity, median",
+                "(field-test metric)",
+                f"{np.median(self.artifact_sensitivity):.2f}",
+            ),
+            (
+                "artifact specificity, median",
+                "(field-test metric)",
+                f"{np.median(self.artifact_specificity):.2f}",
+            ),
+            (
+                "worst |systolic error| w/ rejection [mmHg]",
+                "(recovered)",
+                f"{np.max(recovered):.1f}",
+            ),
+            (
+                "worst servo hold-down error [kPa]",
+                "(applanation search)",
+                f"{np.max(self.servo_error_pa) / 1e3:.2f}",
+            ),
+        ]
+
+
+def _robustness_trial(
+    item: tuple[SystemParams, float], seed: np.random.SeedSequence
+) -> tuple[float, float, float, float, float]:
+    """One independently-seeded field-stressor trial (executor task)."""
+    params, duration_s = item
+    trial_rng, artifact_rng, servo_rng = (
+        np.random.default_rng(child) for child in seed.spawn(3)
+    )
+    result = run_robustness(
+        params,
+        duration_s=duration_s,
+        rng=trial_rng,
+        artifact_rng=artifact_rng,
+        servo_rng=servo_rng,
+    )
+    return (
+        result.artifact_sensitivity,
+        result.artifact_specificity,
+        result.sys_error_no_rejection_mmhg,
+        result.sys_error_with_rejection_mmhg,
+        abs(result.servo_found_pa - result.servo_true_optimum_pa),
+    )
+
+
+def run_robustness_sweep(
+    params: SystemParams | None = None,
+    n_trials: int = 8,
+    duration_s: float = 30.0,
+    seed: int = 7007,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> RobustnessSweepResult:
+    """Repeat :func:`run_robustness` over independently-seeded trials.
+
+    One fixed-seed run shows the countermeasures work once; the sweep
+    asks how they hold up across artifact schedules and servo noise.
+    Each trial's three generators come from the ``SeedSequence.spawn``
+    child at its trial index, so the sweep is bit-identical for every
+    ``jobs`` value.
+    """
+    params = params or SystemParams()
+    if n_trials < 2:
+        raise ConfigurationError("need >= 2 trials for a sweep")
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    items = [(params, float(duration_s))] * n_trials
+    trials = executor.map(_robustness_trial, items, seed=seed)
+    columns = list(zip(*trials))
+    return RobustnessSweepResult(
+        artifact_sensitivity=np.array(columns[0]),
+        artifact_specificity=np.array(columns[1]),
+        sys_error_no_rejection_mmhg=np.array(columns[2]),
+        sys_error_with_rejection_mmhg=np.array(columns[3]),
+        servo_error_pa=np.array(columns[4]),
+        telemetry=executor.telemetry,
+    )

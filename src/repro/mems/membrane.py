@@ -12,6 +12,7 @@ import numpy as np
 from numpy.polynomial import chebyshev
 
 from ..errors import ConfigurationError, SimulationError
+from ..parallel.cache import precompute_cache
 from ..params import MembraneParams
 from .capacitor import DeflectedPlateCapacitor
 from .laminate import Laminate
@@ -52,6 +53,8 @@ class MembraneSensor:
     ):
         if operating_range_pa <= 0:
             raise ConfigurationError("operating range must be positive")
+        self._interpolant_degree = int(interpolant_degree)
+        self._operating_range_pa = float(operating_range_pa)
         self.params = params or MembraneParams()
         self.laminate = laminate or Laminate(paper_membrane_stack())
         if abs(self.laminate.thickness_m - self.params.thickness_m) > 0.2e-6:
@@ -75,22 +78,46 @@ class MembraneSensor:
             electrode_coverage=self.params.electrode_coverage,
         )
 
+        # The touch-down solve and the Chebyshev transfer fit depend only
+        # on the frozen parameters (for the default laminate), so they are
+        # shared process-wide: building one chip per virtual subject or
+        # per pool-worker task solves the plate once per process. A
+        # custom laminate is not a hashable key; it solves directly.
+        if laminate is None:
+            key = (
+                "membrane_transfer",
+                self.params,
+                int(interpolant_degree),
+                float(operating_range_pa),
+            )
+            solution = precompute_cache().get(key, self._solve_transfer)
+        else:
+            solution = self._solve_transfer()
+        self._p_touchdown, self._p_max, self._fit = solution
+        self._p_min = -self._p_max
+
+    def _solve_transfer(
+        self,
+    ) -> tuple[float, float, chebyshev.Chebyshev]:
+        """Solve touch-down and fit C(P) over the operating window."""
         # Touch-down-limited full scale: pressure at which the deflection
         # reaches the guard band of the capacitor model.
         w_max = self.capacitor.max_deflection_m
-        self._p_touchdown = float(self.plate.pressure_for_deflection_pa(w_max)[0])
+        p_touchdown = float(self.plate.pressure_for_deflection_pa(w_max)[0])
         # Fast-interpolant window (see class docstring).
-        self._p_max = min(float(operating_range_pa), self._p_touchdown)
-        self._p_min = -self._p_max
-        self._fit = self._build_interpolant(interpolant_degree)
+        p_max = min(self._operating_range_pa, p_touchdown)
+        fit = self._build_interpolant(self._interpolant_degree, p_max)
+        return (p_touchdown, p_max, fit)
 
-    def _build_interpolant(self, degree: int) -> chebyshev.Chebyshev:
+    def _build_interpolant(
+        self, degree: int, p_max: float
+    ) -> chebyshev.Chebyshev:
         nodes = chebyshev.chebpts2(max(2 * degree + 1, 33))
-        pressures = 0.5 * (nodes + 1.0) * (self._p_max - self._p_min) + self._p_min
+        pressures = 0.5 * (nodes + 1.0) * (2.0 * p_max) - p_max
         w0 = self.plate.center_deflection_m(pressures)
         c = self.capacitor.capacitance_f(w0)
         return chebyshev.Chebyshev.fit(
-            pressures, c, deg=degree, domain=[self._p_min, self._p_max]
+            pressures, c, deg=degree, domain=[-p_max, p_max]
         )
 
     # -- public transfer ---------------------------------------------------

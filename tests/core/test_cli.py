@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, JOBS_AWARE, main
 
 
 class TestCLI:
@@ -38,9 +38,13 @@ class TestCLI:
             "fig7", "fig9", "specs", "membrane", "mux", "localization",
             "baselines", "feedback", "osr", "dynamic-range",
             "noise-budget", "architectures", "robustness",
-            "design-space", "pressure-linearity", "population",
+            "robustness-sweep", "design-space", "pressure-linearity",
+            "population", "chopper",
         }
         assert expected == set(EXPERIMENTS)
+
+    def test_jobs_aware_subset_of_registry(self):
+        assert JOBS_AWARE <= set(EXPERIMENTS)
 
     def test_list_marks_backend_support(self, capsys):
         main(["list"])
@@ -80,6 +84,80 @@ class TestBackendFlag:
     def test_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig7", "--backend", "warp"])
+
+
+class TestParallelCommands:
+    def test_jobs_threaded_to_runner(self, capsys, monkeypatch):
+        seen = {}
+
+        class Result:
+            def rows(self):
+                return [("q", "paper", "measured")]
+
+        def runner(jobs=1):
+            seen["jobs"] = jobs
+            return Result()
+
+        monkeypatch.setitem(EXPERIMENTS, "osr", ("stub", runner, False))
+        assert main(["run", "osr", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+
+    def test_jobs_ignored_note_for_serial_experiment(self, capsys, monkeypatch):
+        class Result:
+            def rows(self):
+                return [("q", "paper", "measured")]
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "specs", ("stub", lambda: Result(), False)
+        )
+        assert main(["run", "specs", "--jobs", "2"]) == 0
+        assert "ignores --jobs" in capsys.readouterr().err
+
+    def test_run_telemetry_footer(self, capsys):
+        assert main(["run", "chopper", "--jobs", "2", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "ExecutorTelemetry" in out
+        assert "telemetry reconciles" in out
+
+    def test_population_command_prints_telemetry(self, capsys):
+        code = main(
+            ["population", "--subjects", "3", "--duration", "6", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "passes AAMI criterion" in out
+        assert "ExecutorTelemetry" in out
+        assert "telemetry reconciles" in out
+
+    def test_population_rejects_tiny_cohort(self, capsys):
+        assert main(["population", "--subjects", "2"]) == 2
+        assert ">= 3 subjects" in capsys.readouterr().err
+
+    def test_ablation_command_prints_telemetry(self, capsys, monkeypatch):
+        from repro.cli import ABLATIONS
+        from repro.parallel import ExecutorTelemetry
+
+        class Result:
+            telemetry = ExecutorTelemetry(jobs=2)
+
+            def rows(self):
+                return [("q", "paper", "measured")]
+
+        seen = {}
+
+        def runner(jobs=1):
+            seen["jobs"] = jobs
+            return Result()
+
+        monkeypatch.setitem(ABLATIONS, "osr", runner)
+        assert main(["ablation", "osr", "--jobs", "2"]) == 0
+        assert seen["jobs"] == 2
+        out = capsys.readouterr().out
+        assert "ExecutorTelemetry" in out
+
+    def test_ablation_unknown_name(self, capsys):
+        assert main(["ablation", "bogus"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err
 
 
 class TestStreamCommand:

@@ -1,0 +1,142 @@
+"""Regression: parallel fan-out never changes experiment results.
+
+The executor's contract (docs/THEORY.md §8) is that ``jobs`` is pure
+scheduling: every harness must produce bit-identical arrays for any
+worker count. These tests pin that for the population protocol, the
+design-space grid, the ablation sweeps and the element scan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.experiments import (
+    run_chopper_ablation,
+    run_design_space,
+    run_feedback_ablation,
+    run_osr_ablation,
+    run_population,
+    run_robustness_sweep,
+)
+from repro.params import NonidealityParams, SystemParams
+
+
+class TestPopulationEquivalence:
+    def test_population_bit_identical_across_jobs(self):
+        serial = run_population(n_subjects=4, duration_s=6.0, jobs=1)
+        pooled = run_population(n_subjects=4, duration_s=6.0, jobs=4)
+        assert np.array_equal(
+            serial.systolic_errors_mmhg, pooled.systolic_errors_mmhg
+        )
+        assert np.array_equal(
+            serial.diastolic_errors_mmhg, pooled.diastolic_errors_mmhg
+        )
+        assert np.array_equal(
+            serial.waveform_rms_mmhg, pooled.waveform_rms_mmhg
+        )
+        assert serial.subjects == pooled.subjects
+
+    def test_population_chunking_is_pure_scheduling(self):
+        a = run_population(n_subjects=4, duration_s=6.0, jobs=2, chunk_size=1)
+        b = run_population(n_subjects=4, duration_s=6.0, jobs=2, chunk_size=4)
+        assert np.array_equal(a.systolic_errors_mmhg, b.systolic_errors_mmhg)
+
+    def test_population_telemetry_reconciles(self):
+        result = run_population(n_subjects=4, duration_s=6.0, jobs=2)
+        result.telemetry.reconcile()
+        assert result.telemetry.tasks_completed == 4
+        # Worker-side chain construction hits the warm FIR/membrane cache.
+        assert result.telemetry.cache_hits > 0
+
+
+class TestGridEquivalence:
+    def test_design_space_grid_bit_identical_across_jobs(self):
+        serial = run_design_space(n_out=128, jobs=1)
+        pooled = run_design_space(n_out=128, jobs=4)
+        assert np.array_equal(serial.enob, pooled.enob)
+        assert serial.pareto_front() == pooled.pareto_front()
+
+    def test_osr_ablation_bit_identical_across_jobs(self):
+        serial = run_osr_ablation(n_out=256, jobs=1)
+        pooled = run_osr_ablation(n_out=256, jobs=3)
+        assert np.array_equal(serial.enob_2nd, pooled.enob_2nd)
+        assert np.array_equal(serial.enob_1st, pooled.enob_1st)
+        assert (
+            serial.slope_2nd_bits_per_octave
+            == pooled.slope_2nd_bits_per_octave
+        )
+
+    def test_feedback_ablation_bit_identical_across_jobs(self):
+        serial = run_feedback_ablation(n_out=512, jobs=1)
+        pooled = run_feedback_ablation(n_out=512, jobs=2)
+        assert np.array_equal(
+            serial.snr_db, pooled.snr_db, equal_nan=True
+        )
+        assert np.array_equal(
+            serial.clipped_fraction, pooled.clipped_fraction
+        )
+
+    def test_chopper_ablation_bit_identical_across_jobs(self):
+        serial = run_chopper_ablation(n_out=512, jobs=1)
+        pooled = run_chopper_ablation(n_out=512, jobs=2)
+        assert serial.snr_off_db == pooled.snr_off_db
+        assert serial.snr_on_db == pooled.snr_on_db
+
+    def test_robustness_sweep_bit_identical_across_jobs(self):
+        serial = run_robustness_sweep(n_trials=3, jobs=1)
+        pooled = run_robustness_sweep(n_trials=3, jobs=3)
+        assert np.array_equal(
+            serial.sys_error_with_rejection_mmhg,
+            pooled.sys_error_with_rejection_mmhg,
+        )
+        assert np.array_equal(serial.servo_error_pa, pooled.servo_error_pa)
+
+
+@pytest.fixture()
+def scan_field():
+    params = SystemParams()
+    fs = params.modulator.sampling_rate_hz
+    dwell_s = 0.2
+    n = int(dwell_s * fs) * 4
+    t = np.arange(n) / fs
+    weights = np.array([0.3, 1.0, 0.5, 0.1])
+    field = 2000.0 * np.sin(2 * np.pi * 1.3 * t)[:, None] * weights[None, :]
+    return params, field, dwell_s
+
+
+class TestScanEquivalence:
+    def test_scan_bit_identical_across_jobs(self, scan_field):
+        params, field, dwell_s = scan_field
+        serial = ReadoutChain(
+            params, rng=np.random.default_rng(7)
+        ).scan_elements(field, dwell_s=dwell_s, jobs=1)
+        pooled = ReadoutChain(
+            params, rng=np.random.default_rng(7)
+        ).scan_elements(field, dwell_s=dwell_s, jobs=4)
+        assert np.array_equal(serial, pooled)
+
+    def test_parallel_scan_matches_batched_when_noiseless(self, scan_field):
+        params, field, dwell_s = scan_field
+        ideal = dataclasses.replace(
+            params, nonideality=NonidealityParams.ideal()
+        )
+        batched = ReadoutChain(
+            ideal, rng=np.random.default_rng(7)
+        ).scan_elements(field, dwell_s=dwell_s, batched=True)
+        parallel = ReadoutChain(
+            ideal, rng=np.random.default_rng(7)
+        ).scan_elements(field, dwell_s=dwell_s, jobs=2)
+        assert np.array_equal(batched, parallel)
+
+    def test_parallel_scan_decorrelates_element_noise(self, scan_field):
+        params, field, dwell_s = scan_field
+        chain = ReadoutChain(params, rng=np.random.default_rng(7))
+        records = chain.scan_elements(field, dwell_s=dwell_s, jobs=1)
+        # Elements 0 and 3 see the same waveform at different couplings;
+        # if their noise replayed identical draws, the scaled residuals
+        # would match exactly.
+        assert not np.allclose(records[:, 0] / 0.3, records[:, 3] / 0.1)

@@ -1,0 +1,154 @@
+"""ParallelExecutor: determinism contract, scheduling, telemetry."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import ExecutorTelemetry, ParallelExecutor
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded_draw(x, seed):
+    rng = np.random.default_rng(seed)
+    return (x, int(rng.integers(0, 1_000_000)))
+
+
+def _pid_of(x):
+    return os.getpid()
+
+
+def _boom(x):
+    raise ValueError(f"task {x} exploded")
+
+
+class TestScheduling:
+    def test_results_in_submission_order(self):
+        ex = ParallelExecutor(jobs=1)
+        assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_order_preserved_with_pool(self):
+        ex = ParallelExecutor(jobs=3, chunk_size=1)
+        assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_empty_items(self):
+        ex = ParallelExecutor(jobs=2)
+        assert ex.map(_square, []) == []
+        assert ex.telemetry.tasks_submitted == 0
+        ex.telemetry.reconcile()
+
+    def test_jobs_one_runs_in_process(self):
+        ex = ParallelExecutor(jobs=1)
+        pids = ex.map(_pid_of, range(4))
+        assert set(pids) == {os.getpid()}
+
+    def test_pool_uses_other_processes(self):
+        ex = ParallelExecutor(jobs=2, chunk_size=1)
+        pids = ex.map(_pid_of, range(4))
+        assert os.getpid() not in pids
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, chunk_size=0)
+
+    def test_task_error_propagates(self):
+        ex = ParallelExecutor(jobs=1)
+        with pytest.raises(ValueError, match="exploded"):
+            ex.map(_boom, range(3))
+
+    def test_task_error_propagates_from_pool(self):
+        ex = ParallelExecutor(jobs=2)
+        with pytest.raises(ValueError, match="exploded"):
+            ex.map(_boom, range(3))
+
+
+class TestSeedDiscipline:
+    def test_results_identical_for_any_worker_count(self):
+        reference = ParallelExecutor(jobs=1).map(
+            _seeded_draw, range(12), seed=99
+        )
+        for jobs, chunk in ((2, None), (3, 1), (4, 5)):
+            ex = ParallelExecutor(jobs=jobs, chunk_size=chunk)
+            assert ex.map(_seeded_draw, range(12), seed=99) == reference
+
+    def test_seed_changes_results(self):
+        a = ParallelExecutor(jobs=1).map(_seeded_draw, range(4), seed=1)
+        b = ParallelExecutor(jobs=1).map(_seeded_draw, range(4), seed=2)
+        assert a != b
+
+    def test_seed_sequence_accepted(self):
+        master = np.random.SeedSequence(1234)
+        a = ParallelExecutor(jobs=1).map(_seeded_draw, range(4), seed=master)
+        b = ParallelExecutor(jobs=1).map(_seeded_draw, range(4), seed=1234)
+        assert a == b
+
+    def test_tasks_depend_on_index_not_chunking(self):
+        # Same master seed, radically different chunking: task k must
+        # draw the same values because its child seed is fixed by k.
+        coarse = ParallelExecutor(jobs=1, chunk_size=12).map(
+            _seeded_draw, range(12), seed=7
+        )
+        fine = ParallelExecutor(jobs=1, chunk_size=1).map(
+            _seeded_draw, range(12), seed=7
+        )
+        assert coarse == fine
+
+
+class TestTelemetry:
+    def test_counters_reconcile(self):
+        ex = ParallelExecutor(jobs=2, chunk_size=3)
+        ex.map(_square, range(10))
+        tm = ex.telemetry
+        tm.reconcile()
+        assert tm.tasks_submitted == tm.tasks_completed == 10
+        assert tm.chunks_dispatched == tm.chunks_completed == 4
+        assert tm.workers_used >= 1
+        assert tm.wall_seconds > 0.0
+
+    def test_auto_chunking_covers_all_tasks(self):
+        ex = ParallelExecutor(jobs=2)
+        ex.map(_square, range(17))
+        ex.telemetry.reconcile()
+        assert ex.telemetry.tasks_completed == 17
+
+    def test_reconcile_rejects_lost_task(self):
+        tm = ExecutorTelemetry(
+            jobs=1,
+            chunk_size=1,
+            tasks_submitted=2,
+            tasks_completed=1,
+            chunks_dispatched=2,
+            chunks_completed=2,
+            worker_seconds={"pid-1": 0.1},
+        )
+        with pytest.raises(ConfigurationError, match="complete exactly once"):
+            tm.reconcile()
+
+    def test_reconcile_rejects_worker_overflow(self):
+        tm = ExecutorTelemetry(
+            jobs=1,
+            chunk_size=1,
+            tasks_submitted=1,
+            tasks_completed=1,
+            chunks_dispatched=1,
+            chunks_completed=1,
+            worker_seconds={"pid-1": 0.1, "pid-2": 0.1},
+        )
+        with pytest.raises(ConfigurationError, match="pool width"):
+            tm.reconcile()
+
+    def test_describe_mentions_workers_and_cache(self):
+        ex = ParallelExecutor(jobs=1)
+        ex.map(_square, range(3))
+        text = ex.telemetry.describe()
+        assert "ExecutorTelemetry" in text
+        assert "precompute cache" in text
+        assert "pid-" in text
