@@ -43,6 +43,41 @@ def _scan_element_task(
 
 
 @dataclass(frozen=True)
+class ElementHealthReport:
+    """Per-element health of one scan (graceful-degradation input).
+
+    All fractions are over the scanned record; ``healthy`` combines them
+    against the thresholds :meth:`ScanController.element_health` was
+    given. Signals are in the scan records' units (modulator FS).
+    """
+
+    #: Fraction of each element's samples at the converter rails.
+    saturated_fraction: np.ndarray
+    #: Fraction of each element's rolling windows that are flat.
+    flat_fraction: np.ndarray
+    #: Peak-to-peak amplitude per element.
+    amplitudes: np.ndarray
+    #: Elements fit to carry the measurement.
+    healthy: np.ndarray
+
+    @property
+    def n_healthy(self) -> int:
+        return int(np.count_nonzero(self.healthy))
+
+    def describe(self) -> str:
+        lines = ["element health:"]
+        for k in range(self.healthy.size):
+            verdict = "ok" if self.healthy[k] else "DEGRADED"
+            lines.append(
+                f"  element {k}: {verdict} "
+                f"(sat {self.saturated_fraction[k]:.1%}, "
+                f"flat {self.flat_fraction[k]:.1%}, "
+                f"amp {self.amplitudes[k]:.3e})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ElementSelection:
     """Outcome of a selection scan."""
 
@@ -186,10 +221,62 @@ class ScanController:
         n = min(r.size for r in records)
         return np.column_stack([r[:n] for r in records])
 
+    def element_health(
+        self,
+        element_signals: np.ndarray,
+        rail_level: float = 2007.0 / 2048.0,
+        flat_window: int = 64,
+        flat_threshold: float = 0.25 / 2048.0,
+        max_saturated_fraction: float = 0.02,
+        max_flat_fraction: float = 0.5,
+    ) -> ElementHealthReport:
+        """Score every element's record for saturation and flatline.
+
+        The graceful-degradation screen behind ``scan_and_select(...,
+        health_screen=True)``: an element whose record spends more than
+        ``max_saturated_fraction`` at the converter rails (railed
+        modulator, stuck comparator) or more than ``max_flat_fraction``
+        of its rolling windows below ``flat_threshold`` standard
+        deviation (stiction, dropout) is marked unhealthy and excluded
+        from selection. Thresholds are in the scan records' units
+        (modulator FS; the defaults translate the quality mask's
+        code-LSB thresholds).
+        """
+        signals = np.asarray(element_signals, dtype=float)
+        if signals.ndim != 2 or signals.shape[1] != self.array.n_elements:
+            raise ConfigurationError(
+                f"expected (n_samples, {self.array.n_elements}) signals"
+            )
+        n = signals.shape[0]
+        saturated = np.mean(np.abs(signals) >= rail_level, axis=0)
+        if n >= flat_window:
+            window = flat_window
+            shape = (n - window + 1, window, signals.shape[1])
+            strides = (signals.strides[0],) + signals.strides
+            windows = np.lib.stride_tricks.as_strided(
+                signals, shape=shape, strides=strides
+            )
+            flat = np.mean(windows.std(axis=1) < flat_threshold, axis=0)
+        else:
+            flat = (signals.std(axis=0) < flat_threshold).astype(float)
+        amplitudes = signals.max(axis=0) - signals.min(axis=0)
+        healthy = (
+            (saturated <= max_saturated_fraction)
+            & (flat <= max_flat_fraction)
+            & (amplitudes > 0.0)
+        )
+        return ElementHealthReport(
+            saturated_fraction=saturated,
+            flat_fraction=flat,
+            amplitudes=amplitudes,
+            healthy=healthy,
+        )
+
     def select_strongest(
         self,
         element_signals: np.ndarray,
         metric: str = "peak_to_peak",
+        exclude: np.ndarray | None = None,
     ) -> ElementSelection:
         """Pick the element with the strongest pulsatile signal.
 
@@ -202,6 +289,11 @@ class ScanController:
         metric:
             ``"peak_to_peak"`` (default, what a simple implementation
             does) or ``"std"`` (more robust to single-sample glitches).
+        exclude:
+            Optional boolean mask of elements barred from selection
+            (``True`` = excluded) — typically ``~health.healthy`` from
+            :meth:`element_health`. Excluded amplitudes still appear in
+            the amplitude map; only the winner choice skips them.
         """
         signals = np.asarray(element_signals, dtype=float)
         if signals.ndim != 2 or signals.shape[1] != self.array.n_elements:
@@ -217,12 +309,26 @@ class ScanController:
         else:
             raise ConfigurationError("metric must be peak_to_peak|std")
 
-        if not np.any(amplitudes > 0.0):
+        eligible = amplitudes.copy()
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=bool)
+            if exclude.shape != (self.array.n_elements,):
+                raise ConfigurationError(
+                    "exclude mask must have one entry per element"
+                )
+            if exclude.all():
+                raise SignalQualityError(
+                    "every element is excluded as unhealthy; cannot "
+                    "select a measurement element"
+                )
+            eligible[exclude] = -np.inf
+
+        if not np.any(eligible > 0.0):
             raise SignalQualityError(
                 "no element shows a pulsatile signal; sensor is probably "
                 "not coupled to the tissue"
             )
-        best = int(np.argmax(amplitudes))
+        best = int(np.argmax(eligible))
         row, col = self.array.geometry.element_rowcol(best)
         rows, cols = self.array.params.rows, self.array.params.cols
         amp_map = amplitudes.reshape(rows, cols)
@@ -246,13 +352,18 @@ class ScanController:
         batched: bool = True,
         settle_words: int | None = None,
         jobs: int | None = None,
+        health_screen: bool = False,
     ) -> ElementSelection:
         """Drive a full scan through a readout chain and pick the winner.
 
         Sequences the chain through every element (:meth:`scan_records`,
         batched through the modulator fast path by default), drops the
         filter-flush words at the start of the common record, and feeds
-        the settled signals to :meth:`select_strongest`.
+        the settled signals to :meth:`select_strongest`. With
+        ``health_screen=True`` the settled records are first scored by
+        :meth:`element_health` and unhealthy elements (saturated or
+        flatlined — a railed modulator looks *strong* to a peak-to-peak
+        metric) are excluded from the selection.
 
         Parameters
         ----------
@@ -271,6 +382,8 @@ class ScanController:
             to this controller's ``discard_samples``.
         jobs:
             Worker count for a parallel scan (see :meth:`scan_records`).
+        health_screen:
+            Exclude elements :meth:`element_health` marks degraded.
         """
         records = self.scan_records(
             chain,
@@ -281,7 +394,10 @@ class ScanController:
         )
         drop = self.discard_samples if settle_words is None else int(settle_words)
         settled = records[drop:]
-        return self.select_strongest(settled, metric=metric)
+        exclude = None
+        if health_screen:
+            exclude = ~self.element_health(settled).healthy
+        return self.select_strongest(settled, metric=metric, exclude=exclude)
 
     def localize_source(
         self, element_signals: np.ndarray

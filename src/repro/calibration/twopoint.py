@@ -66,19 +66,46 @@ class TwoPointCalibration:
             cuff_diastolic_mmhg=float(cuff_diastolic_mmhg),
         )
 
-    def apply(self, raw: np.ndarray | float) -> np.ndarray:
-        """Map raw waveform values to calibrated mmHg."""
-        return self.gain_mmhg_per_raw * np.asarray(raw, dtype=float) + (
-            self.offset_mmhg
-        )
+    #: |gain| below this is degenerate: inverting it would blow raw noise
+    #: up by >= 1e12, so it cannot come from a real pulsatile record.
+    _GAIN_TOLERANCE = 1e-12
 
-    def invert(self, mmhg: np.ndarray | float) -> np.ndarray:
+    def apply(self, raw: np.ndarray | float) -> np.ndarray | float:
+        """Map raw waveform values to calibrated mmHg.
+
+        Scalar in, scalar out: a float input returns a Python float, not
+        a 0-d ndarray.
+        """
+        arr = np.asarray(raw, dtype=float)
+        out = self.gain_mmhg_per_raw * arr + self.offset_mmhg
+        return float(out) if arr.ndim == 0 else out
+
+    def invert(self, mmhg: np.ndarray | float) -> np.ndarray | float:
         """mmHg back to raw units (for injecting synthetic references)."""
-        if self.gain_mmhg_per_raw == 0.0:
+        if abs(self.gain_mmhg_per_raw) < self._GAIN_TOLERANCE:
             raise CalibrationError("degenerate calibration (zero gain)")
-        return (
-            np.asarray(mmhg, dtype=float) - self.offset_mmhg
-        ) / self.gain_mmhg_per_raw
+        arr = np.asarray(mmhg, dtype=float)
+        out = (arr - self.offset_mmhg) / self.gain_mmhg_per_raw
+        return float(out) if arr.ndim == 0 else out
+
+    def apply_masked(
+        self, raw: np.ndarray, quality: np.ndarray
+    ) -> np.ma.MaskedArray:
+        """Calibrate a record under its per-sample quality mask.
+
+        Samples the mask flags bad (``False``) come back masked — they
+        carry no trustworthy pressure, and masking keeps them out of any
+        downstream statistic instead of silently calibrating them. The
+        mask is the ``quality`` array a
+        :class:`~repro.core.chain.ChainRecording` carries.
+        """
+        values = np.asarray(raw, dtype=float)
+        quality = np.asarray(quality, dtype=bool)
+        if quality.shape != values.shape:
+            raise ConfigurationError(
+                "quality mask must match the raw record's shape"
+            )
+        return np.ma.MaskedArray(self.apply(values), mask=~quality)
 
     def error_from_cuff_bias(
         self, systolic_bias_mmhg: float, diastolic_bias_mmhg: float

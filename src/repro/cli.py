@@ -9,6 +9,7 @@
     python -m repro run population --jobs 4   # fan out over 4 workers
     python -m repro population --jobs 4   # population + executor telemetry
     python -m repro ablation osr --jobs 4 # ablation sweeps + telemetry
+    python -m repro faults --jobs 4       # fault matrix, degradation contract
     python -m repro stream                # live chunked acquisition demo
     python -m repro describe              # print the system configuration
 
@@ -129,6 +130,13 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
         lambda jobs=1: experiments.run_chopper_ablation(jobs=jobs),
         False,
     ),
+    "faults": (
+        "Sec. 4 reliability — fault-injection matrix, degradation contract",
+        lambda backend="fast", jobs=1: experiments.run_fault_matrix(
+            backend=backend, jobs=jobs
+        ),
+        True,
+    ),
 }
 
 #: Experiments whose runner fans out over the ParallelExecutor and
@@ -136,6 +144,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
 #: Tracked separately from the registry tuples so tests that monkeypatch
 #: plain (description, runner, supports_backend) entries keep working.
 JOBS_AWARE = {
+    "faults",
     "feedback",
     "osr",
     "chopper",
@@ -246,6 +255,60 @@ def cmd_population(
     _print_rows(f"population ({elapsed:.1f} s)", result.rows())
     _print_telemetry(result)
     return 0
+
+
+def cmd_faults(
+    kinds: list[str] | None = None,
+    rate: float = 1.0,
+    duration_s: float = 4.0,
+    seed: int = 20040506,
+    jobs: int = 1,
+    backend: str = "fast",
+) -> int:
+    """Fault-injection matrix with the full per-cell table.
+
+    Sweeps fault kind × rate through
+    :func:`~repro.experiments.run_fault_matrix` and prints one row per
+    cell: events injected/detected, corrupted vs silently corrupted
+    samples, loss accounting, autozero re-triggers and survival. Exits
+    nonzero if the degradation contract is violated — any silent
+    corruption, an undetected event, or a record that did not survive.
+    """
+    if duration_s <= 0:
+        print("duration must be positive", file=sys.stderr)
+        return 2
+    if rate < 0:
+        print("rate must be >= 0", file=sys.stderr)
+        return 2
+    print(
+        f"fault matrix: kinds={'all' if not kinds else ','.join(kinds)}, "
+        f"rate={rate:g} Hz, {duration_s:g} s records, jobs={jobs} ...",
+        flush=True,
+    )
+    start = time.perf_counter()
+    try:
+        result = experiments.run_fault_matrix(
+            kinds=kinds or None,
+            rates=(rate,),
+            duration_s=duration_s,
+            seed=seed,
+            jobs=jobs,
+            backend=backend,
+        )
+    except Exception as exc:  # unknown kind etc.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    rows = result.matrix_rows()
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    print()
+    print(f"fault matrix ({elapsed:.1f} s)")
+    print("-" * (sum(widths) + 2 * len(widths)))
+    for row in rows:
+        print("  ".join(f"{cell:<{w}}" for cell, w in zip(row, widths)))
+    print()
+    print(result.describe())
+    return 0 if result.contract_holds else 1
 
 
 #: Ablation subcommand registry: name -> runner accepting ``jobs=``.
@@ -465,6 +528,35 @@ def main(argv: list[str] | None = None) -> int:
     ablation_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes"
     )
+    faults_parser = sub.add_parser(
+        "faults",
+        help="fault-injection matrix: inject faults at every pipeline "
+        "layer and verify detection/recovery (nonzero exit on silent "
+        "corruption)",
+    )
+    faults_parser.add_argument(
+        "kinds", nargs="*",
+        help="fault kinds to inject (default: all)",
+    )
+    faults_parser.add_argument(
+        "--rate", type=float, default=1.0,
+        help="Poisson event rate per kind [Hz]",
+    )
+    faults_parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="record length per matrix cell [s]",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=20040506,
+        help="master seed for the fault schedules",
+    )
+    faults_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    faults_parser.add_argument(
+        "--backend", choices=["fast", "reference"], default="fast",
+        help="modulator backend",
+    )
     sub.add_parser("describe", help="print the paper-default configuration")
 
     args = parser.parse_args(argv)
@@ -486,6 +578,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "ablation":
         return cmd_ablation(args.names, jobs=args.jobs)
+    if args.command == "faults":
+        return cmd_faults(
+            kinds=args.kinds,
+            rate=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
     if args.command == "stream":
         return cmd_stream(
             duration_s=args.duration,

@@ -16,6 +16,7 @@ from ..daq.fpga import FPGAFilterBank
 from ..daq.stream import SampleStream
 from ..daq.usb import FrameDecoder
 from ..errors import ConfigurationError
+from ..faults.detection import quality_mask
 from ..params import SystemParams
 from .chip import SensorChip
 
@@ -33,11 +34,23 @@ class ChainRecording:
     #: for this element (``SampleStream.lost_samples``) — the per-element
     #: view behind the decoder-level ``lost_frames``.
     lost_samples: int = 0
+    #: Per-sample quality mask (True = good); built by
+    #: :func:`~repro.faults.quality_mask` from rail/gap/spike detection
+    #: so degraded stretches are flagged instead of silently calibrated.
+    #: ``None`` only on records built before the mask existed.
+    quality: np.ndarray | None = None
 
     @property
     def values(self) -> np.ndarray:
         """Codes scaled to modulator-input units (FS = 1)."""
         return self.codes.astype(float) / 2048.0
+
+    @property
+    def quality_fraction(self) -> float:
+        """Fraction of received samples the quality mask calls good."""
+        if self.quality is None or self.quality.size == 0:
+            return 1.0
+        return float(np.count_nonzero(self.quality)) / self.quality.size
 
     @property
     def times_s(self) -> np.ndarray:
@@ -83,7 +96,7 @@ class ReadoutChain:
 
     def _collect(self, payload: bytes, element: int) -> ChainRecording:
         decoder = FrameDecoder()
-        frames = decoder.feed(payload)
+        frames = decoder.feed(payload) + decoder.finalize()
         stream = SampleStream(sample_rate_hz=self.output_rate_hz)
         stream.ingest(frames)
         codes = stream.samples(element).astype(np.int64)
@@ -94,23 +107,32 @@ class ReadoutChain:
             lost_frames=decoder.lost_frames,
             crc_errors=decoder.crc_errors,
             lost_samples=stream.lost_samples(element),
+            quality=quality_mask(codes, gaps=stream.gaps(element)),
         )
 
-    def session(self, element: int | None = None):
+    def session(
+        self, element: int | None = None, faults=None, quality=None
+    ):
         """Open a streaming :class:`~repro.core.session.AcquisitionSession`.
 
         The chunked-first entry point: feed bounded chunks, read words
         incrementally, inspect per-stage telemetry. The batch record
-        methods below are thin wrappers over exactly this.
+        methods below are thin wrappers over exactly this. ``faults``
+        wires a :class:`~repro.faults.FaultInjector` through every
+        pipeline layer; ``quality`` tunes the recording's quality-mask
+        detectors.
         """
         from .session import AcquisitionSession
 
-        return AcquisitionSession(self, element=element)
+        return AcquisitionSession(
+            self, element=element, faults=faults, quality=quality
+        )
 
     def record_pressure(
         self,
         element_pressures_pa: np.ndarray,
         element: int | None = None,
+        faults=None,
     ) -> ChainRecording:
         """Acquire one element's record from a membrane-pressure field.
 
@@ -123,8 +145,11 @@ class ReadoutChain:
             (n_mod_samples, n_elements) field at the modulator clock.
         element:
             Element to select first (default: keep current selection).
+        faults:
+            Optional :class:`~repro.faults.FaultInjector` applied for
+            the duration of this record.
         """
-        session = self.session(element=element)
+        session = self.session(element=element, faults=faults)
         session.feed_pressure(element_pressures_pa)
         return session.recording()
 

@@ -60,6 +60,10 @@ class SensorChip:
             rng=rng,
             backend=backend,
         )
+        #: Optional tap on the modulator loop input (FS units), applied
+        #: by both acquisition paths just before conversion — the fault
+        #: injector's sdm-saturation hook.
+        self.loop_input_hook = None
 
     # -- element selection -------------------------------------------------
 
@@ -113,6 +117,8 @@ class SensorChip:
             )
         caps = self.mux.routed_capacitance_f(pressures)
         u = self.frontend.loop_input(caps)
+        if self.loop_input_hook is not None:
+            u = self.loop_input_hook(u)
         return self.modulator.simulate(u)
 
     def acquire_pressure_scan(
@@ -144,6 +150,8 @@ class SensorChip:
         u = self.voltage_input.loop_input(
             np.asarray(differential_voltage_v, dtype=float)
         )
+        if self.loop_input_hook is not None:
+            u = self.loop_input_hook(u)
         return self.modulator.simulate(u)
 
     # -- derived figures --------------------------------------------------------

@@ -197,6 +197,7 @@ class BloodPressureMonitor:
         element: int | None = None,
         chunk_s: float = 0.25,
         on_chunk: Callable[[AcquisitionSession, np.ndarray], None] | None = None,
+        faults=None,
     ) -> tuple[ChainRecording, PipelineTelemetry]:
         """Stream one element's record without materializing the field.
 
@@ -221,8 +222,12 @@ class BloodPressureMonitor:
         on_chunk:
             Optional live observer called after every chunk with the
             session and the newly delivered words (the CLI's hook).
+        faults:
+            Optional :class:`~repro.faults.FaultInjector` active for
+            this record; the returned recording's ``quality`` mask flags
+            the degraded stretches.
         """
-        session = AcquisitionSession(self.chain, element=element)
+        session = AcquisitionSession(self.chain, element=element, faults=faults)
         chunks = self._pressure_field_chunks(recording, start_s, stop_s, chunk_s)
         while True:
             # The generator interpolates and couples lazily, so the time

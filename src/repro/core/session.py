@@ -40,6 +40,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..daq.stream import SampleStream
 from ..daq.usb import FrameDecoder
+from ..faults.detection import QualityConfig, quality_mask
 from .chain import ChainRecording
 
 #: Pipeline stages, in dataflow order, as they appear in telemetry.
@@ -80,6 +81,9 @@ class PipelineTelemetry:
     crc_errors: int = 0
     #: Decimated words delivered to the consumer.
     words_delivered: int = 0
+    #: Fault events the session's injector has applied so far (0 when no
+    #: injector is wired — the counters then reconcile strictly).
+    faults_injected: int = 0
     #: Largest single input chunk, in bytes (the memory high-water mark
     #: of the acquisition-rate data).
     peak_chunk_bytes: int = 0
@@ -117,6 +121,15 @@ class PipelineTelemetry:
             - 1
         )
 
+    @property
+    def frames_unaccounted(self) -> int:
+        """Framed frames neither decoded nor seen missing by a later
+        frame's sequence number — e.g. a frame dropped at the very end
+        of a stream, which no gap can reveal. Conservation at this
+        counter is what catches tail loss the sequence numbers cannot.
+        """
+        return self.frames_framed - self.frames_decoded - self.lost_frames
+
     def reconcile(self, lossless: bool | None = None) -> None:
         """Assert the stage counters agree with each other.
 
@@ -145,10 +158,21 @@ class PipelineTelemetry:
                         "decimator residue must be less than one output word")
         require(self.words_suppressed <= self.words_filtered,
                 "cannot suppress more words than were filtered")
-        require(self.frames_framed == self.frames_decoded + self.lost_frames,
-                "framed frames must be decoded or counted lost")
+        if self.faults_injected:
+            # An injected tail drop or truncation can leave frames that
+            # no later sequence number ever reports missing; they stay
+            # visible as frames_unaccounted instead.
+            require(self.frames_unaccounted >= 0,
+                    "cannot decode or lose more frames than were framed")
+        else:
+            require(self.frames_unaccounted == 0,
+                    "framed frames must be decoded or counted lost")
         if lossless is None:
-            lossless = self.lost_frames == 0 and self.crc_errors == 0
+            lossless = (
+                self.lost_frames == 0
+                and self.crc_errors == 0
+                and self.faults_injected == 0
+            )
         if lossless:
             require(
                 self.words_delivered
@@ -177,6 +201,11 @@ class PipelineTelemetry:
             f"{self.crc_errors} CRC errors",
             f"  delivered         : {self.words_delivered} words",
         ]
+        if self.faults_injected:
+            lines.append(
+                f"  faults            : {self.faults_injected} event(s) "
+                f"injected, {self.frames_unaccounted} frame(s) unaccounted"
+            )
         for stage in STAGES:
             seconds = self.stage_seconds[stage]
             if seconds > 0.0:
@@ -215,9 +244,25 @@ class AcquisitionSession:
         chain's current selection). Switching resets the decimation
         filter and starts the post-switch suppression window, exactly as
         the batch path does.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`. The session binds
+        it to the chain, installs its hooks at every pipeline layer
+        (pressure field, loop input, bitstream, decimated words, USB
+        payload) and restores the hooks on :meth:`finish`. With ``None``
+        (default) the pipeline is bit-identical to an un-instrumented
+        session.
+    quality:
+        Detector thresholds for the recording's per-sample quality mask
+        (default :class:`~repro.faults.QualityConfig`).
     """
 
-    def __init__(self, chain, element: int | None = None):
+    def __init__(
+        self,
+        chain,
+        element: int | None = None,
+        faults=None,
+        quality: QualityConfig | None = None,
+    ):
         self.chain = chain
         if element is not None:
             chain.chip.select_element(element)
@@ -230,6 +275,14 @@ class AcquisitionSession:
         )
         self._kind: str | None = None
         self._finished = False
+        self._quality_config = quality or QualityConfig()
+        self.faults = faults
+        if faults is not None:
+            faults.bind(chain)
+            self._prev_loop_hook = chain.chip.loop_input_hook
+            self._prev_word_hook = chain.fpga.word_hook
+            chain.chip.loop_input_hook = faults.apply_loop_input
+            chain.fpga.word_hook = faults.apply_words
 
     # -- feeding -----------------------------------------------------------
 
@@ -275,6 +328,8 @@ class AcquisitionSession:
         tm.peak_chunk_bytes = max(tm.peak_chunk_bytes, chunk.nbytes)
 
         t0 = time.perf_counter()
+        if self.faults is not None and kind == "pressure":
+            chunk = self.faults.apply_array(chunk)
         if kind == "pressure":
             mod_out = chip.acquire_pressure(chunk)
         else:
@@ -285,22 +340,34 @@ class AcquisitionSession:
         tm.bits_out += mod_out.bitstream.size
         tm.clipped_samples += mod_out.clipped_samples
 
+        bitstream = mod_out.bitstream
+        if self.faults is not None:
+            bitstream = self.faults.apply_bitstream(bitstream)
         words_before = fpga.words_filtered
         suppressed_before = fpga.words_suppressed
         frames_before = fpga.encoder.frames_emitted
-        payload = fpga.process(mod_out.bitstream.astype(np.int64))
+        payload = fpga.process(bitstream.astype(np.int64))
         t2 = time.perf_counter()
         tm.add_stage_seconds("fpga", t2 - t1)
         tm.words_filtered += fpga.words_filtered - words_before
         tm.words_suppressed += fpga.words_suppressed - suppressed_before
         tm.frames_framed += fpga.encoder.frames_emitted - frames_before
+        if self.faults is not None:
+            payload = self.faults.apply_payload(payload)
+            tm.faults_injected = self.faults.events_applied
 
         return self._deliver(payload, t2)
 
-    def _deliver(self, payload: bytes, t_start: float) -> np.ndarray:
+    def _deliver(
+        self, payload: bytes, t_start: float, final: bool = False
+    ) -> np.ndarray:
         """Decode and ingest one payload; return this element's new words."""
         tm = self.telemetry
         frames = self._decoder.feed(payload)
+        if final:
+            # End of stream: drain any frames stalled behind a corrupted
+            # length claim (a no-op on clean pipelines).
+            frames += self._decoder.finalize()
         t3 = time.perf_counter()
         tm.add_stage_seconds("decode", t3 - t_start)
         tm.frames_decoded = self._decoder.frames_decoded
@@ -338,7 +405,15 @@ class AcquisitionSession:
         tm.frames_framed += (
             self.chain.fpga.encoder.frames_emitted - frames_before
         )
-        return self._deliver(payload, t1)
+        if self.faults is not None:
+            payload = self.faults.apply_payload(payload)
+            tm.faults_injected = self.faults.events_applied
+        delivered = self._deliver(payload, t1, final=True)
+        if self.faults is not None:
+            # Hand the chain back fault-free.
+            self.chain.chip.loop_input_hook = self._prev_loop_hook
+            self.chain.fpga.word_hook = self._prev_word_hook
+        return delivered
 
     def recording(self) -> ChainRecording:
         """Finish (if needed) and assemble the session's recording.
@@ -355,6 +430,11 @@ class AcquisitionSession:
             lost_frames=self._decoder.lost_frames,
             crc_errors=self._decoder.crc_errors,
             lost_samples=self._stream.lost_samples(self.element),
+            quality=quality_mask(
+                codes,
+                gaps=self._stream.gaps(self.element),
+                config=self._quality_config,
+            ),
         )
 
     # -- introspection -----------------------------------------------------
@@ -368,6 +448,11 @@ class AcquisitionSession:
     def stream(self) -> SampleStream:
         """The session's host-side sample stream (gap accounting etc.)."""
         return self._stream
+
+    @property
+    def decoder(self) -> FrameDecoder:
+        """The session's USB frame decoder (loss/CRC/resync counters)."""
+        return self._decoder
 
     @property
     def finished(self) -> bool:

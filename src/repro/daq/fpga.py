@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Callable
+
 from ..errors import ConfigurationError
 from ..dsp.decimator import DecimationFilter
+from ..dsp.fixed_point import saturate
 from ..params import DecimationParams
 from .usb import FrameEncoder
 
@@ -47,6 +50,11 @@ class FPGAFilterBank:
         self.flush_words_on_switch = int(flush_words_on_switch)
         self._element = 0
         self._suppress = 0
+        #: Optional tap on the delivered-word path (after the post-switch
+        #: suppression window, before framing) — the fault injector's
+        #: word-corruption hook. Hook output is saturated to the i16
+        #: sample range, never wrapped.
+        self.word_hook: Callable[[np.ndarray], np.ndarray] | None = None
         #: Lifetime telemetry counters (streaming sessions read deltas).
         self.samples_in = 0
         self.words_filtered = 0
@@ -86,7 +94,13 @@ class FPGAFilterBank:
             self.words_suppressed += drop
         if codes.size == 0:
             return b""
-        return self.encoder.push(codes.astype(np.int16), self._element)
+        if self.word_hook is not None:
+            codes = np.asarray(self.word_hook(codes))
+        # Clamp to the i16 sample range ([-32768, 32767], two's-complement
+        # asymmetric) instead of the silent wraparound a bare
+        # ``astype(np.int16)`` would perform on out-of-range words; the
+        # encoder then validates the range rather than mangling it.
+        return self.encoder.push(saturate(codes, 16), self._element)
 
     def flush(self) -> bytes:
         """Flush the partial USB frame at end of acquisition.

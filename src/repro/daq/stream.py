@@ -79,7 +79,9 @@ class SampleStream:
                 self._expected_seq is not None
                 and frame.sequence != self._expected_seq
             ):
-                lost = (frame.sequence - self._expected_seq) & 0xFFFF
+                # Modular distance: a sequence rollover past 0xFFFF is a
+                # small gap, not a ~65k-frame loss.
+                lost = (frame.sequence - self._expected_seq) % 0x10000
                 self._gaps[frame.element].append(
                     StreamGap(
                         sample_index=self._counts[frame.element],
@@ -87,7 +89,7 @@ class SampleStream:
                         lost_samples=lost * frame.samples.size,
                     )
                 )
-            self._expected_seq = (frame.sequence + 1) & 0xFFFF
+            self._expected_seq = (frame.sequence + 1) % 0x10000
             self._chunks[frame.element].append(frame.samples)
             self._counts[frame.element] += frame.samples.size
             self.frames_ingested += 1

@@ -156,6 +156,8 @@ class FrameDecoder:
         self.crc_errors = 0
         #: Total valid frames decoded over the decoder's lifetime.
         self.frames_decoded = 0
+        #: Bytes discarded while re-hunting sync after corruption.
+        self.resync_bytes = 0
 
     def feed(self, data: bytes) -> list[Frame]:
         """Consume bytes, return all frames completed by them.
@@ -163,9 +165,29 @@ class FrameDecoder:
         The scan walks a cursor through the buffer and trims the consumed
         prefix once at the end — corrupt regions can contain a false sync
         word every other byte, and per-candidate prefix deletion would
-        make decoding quadratic in the garbage length.
+        make decoding quadratic in the garbage length. After a CRC
+        failure the cursor advances past the failed sync word and
+        rescans byte-by-byte, so one corrupted frame never costs the
+        later frames in the same feed.
         """
         self._buffer += data
+        return self._parse(final=False)
+
+    def finalize(self) -> list[Frame]:
+        """Drain frames stalled behind a corrupted length claim.
+
+        A frame whose ``count`` byte was corrupted upward claims more
+        bytes than its sender produced; :meth:`feed` keeps waiting for
+        them and every later frame sits stranded in the buffer. Call
+        this at end of stream (or end of acquisition) to abandon such
+        claims and recover the complete frames behind them. A no-op —
+        zero frames, zero counter changes — when the buffer holds no
+        stalled data, so clean pipelines are unaffected. Feeding may
+        resume afterwards.
+        """
+        return self._parse(final=True)
+
+    def _parse(self, final: bool) -> list[Frame]:
         buf = self._buffer
         n = len(buf)
         frames: list[Frame] = []
@@ -179,15 +201,28 @@ class FrameDecoder:
                 break
             pos = start
             if n - pos < _HEADER.size:
-                break  # wait for the rest of the header
+                if not final:
+                    break  # wait for the rest of the header
+                # End of stream inside a header: no complete frame can
+                # start here; skip the sync word and rescan.
+                self.resync_bytes += 2
+                pos += 2
+                continue
             _, seq, element, count = _HEADER.unpack_from(buf, pos)
             total = _HEADER.size + 2 * count + _CRC.size
             if n - pos < total:
-                break  # wait for the rest of the (claimed) frame
+                if not final:
+                    break  # wait for the rest of the (claimed) frame
+                # The claim outruns the stream — a corrupted count byte.
+                # Abandon this sync and rescan for frames behind it.
+                self.resync_bytes += 2
+                pos += 2
+                continue
             body = bytes(buf[pos : pos + total - _CRC.size])
             (crc_rx,) = _CRC.unpack_from(buf, pos + total - _CRC.size)
             if crc16_ccitt(body) != crc_rx:
                 self.crc_errors += 1
+                self.resync_bytes += 2
                 pos += 2  # skip this false sync word, rescan
                 continue
             samples = np.frombuffer(
@@ -195,8 +230,10 @@ class FrameDecoder:
             ).astype(np.int16)
             pos += total
             if self._expected_seq is not None and seq != self._expected_seq:
-                self.lost_frames += (seq - self._expected_seq) & 0xFFFF
-            self._expected_seq = (seq + 1) & 0xFFFF
+                # Modular distance, so a rollover past 0xFFFF is a small
+                # gap rather than a ~65k-frame loss.
+                self.lost_frames += (seq - self._expected_seq) % 0x10000
+            self._expected_seq = (seq + 1) % 0x10000
             try:
                 frames.append(
                     Frame(sequence=seq, element=element, samples=samples)

@@ -22,6 +22,7 @@ EXPERIMENTS.md numbers come from running them at full length.
 | ROBUST    | :func:`robustness.run_robustness`         | Sec. 4: "field tests ... reliability and stability" |
 | ABL-CHOP  | :func:`ablations.run_chopper_ablation`    | (not in paper) chopper vs flicker noise |
 | ROBUST-SW | :func:`robustness.run_robustness_sweep`   | Sec. 4 field tests, many seeded trials |
+| FAULTS    | :func:`fault_matrix.run_fault_matrix`     | Sec. 4 reliability: fault matrix, degradation contract |
 
 The sweep-style harnesses (population, design space, the ablations, the
 robustness sweep) fan their independent work items out over a
@@ -54,6 +55,11 @@ from .robustness import (
     run_robustness_sweep,
 )
 from .design_space import DesignSpaceResult, run_design_space
+from .fault_matrix import (
+    FaultCellResult,
+    FaultMatrixResult,
+    run_fault_matrix,
+)
 from .pressure_linearity import PressureLinearityResult, run_pressure_linearity
 from .population import PopulationResult, run_population
 
@@ -63,6 +69,8 @@ __all__ = [
     "ChopperAblationResult",
     "DesignSpaceResult",
     "DynamicRangeResult",
+    "FaultCellResult",
+    "FaultMatrixResult",
     "FeedbackAblationResult",
     "Fig7Result",
     "Fig9Result",
@@ -81,6 +89,7 @@ __all__ = [
     "run_chopper_ablation",
     "run_design_space",
     "run_dynamic_range",
+    "run_fault_matrix",
     "run_feedback_ablation",
     "run_fig7",
     "run_fig9",

@@ -1,0 +1,51 @@
+"""Seeded fault injection and graceful degradation for the pipeline.
+
+The paper's system is a wearable acquisition chain whose field failure
+modes — membrane dropout/stiction and capacitance drift, modulator
+railing, corrupted FPGA words, dropped or mangled USB frames — are
+exactly what a production monitor must survive. This package provides
+both sides of that story:
+
+* **Injection** — :class:`FaultSpec` describes one fault process (kind,
+  rate, magnitude); :class:`FaultInjector` turns a list of specs into a
+  deterministic, ``SeedSequence``-derived event schedule and applies the
+  events at the right pipeline layer when wired through
+  :class:`~repro.core.session.AcquisitionSession` (``faults=``).
+* **Detection** — :func:`quality_mask` builds the per-sample quality
+  mask carried by :class:`~repro.core.chain.ChainRecording`, from rail,
+  spike, jump, flatline and baseline-drift detectors plus the stream's
+  frame-loss gaps (:class:`QualityConfig` tunes them).
+* **Recovery** — :class:`SaturationEpisodeDetector` finds railing
+  episodes in the decimated record; :class:`AutoZeroRetrigger` answers
+  them with a fresh auto-zero measurement.
+
+The contract (docs/THEORY.md §9): with ``faults=None`` the pipeline is
+bit-identical to the un-instrumented one; with faults, every injected
+event is either recovered, accounted (loss counters/gaps) or flagged in
+the quality mask — never silently calibrated. The
+:func:`~repro.experiments.run_fault_matrix` harness sweeps fault kind ×
+rate and asserts exactly that.
+"""
+
+from .spec import FAULT_KINDS, KIND_LAYERS, FaultEvent, FaultSpec
+from .injector import FaultInjector
+from .detection import QualityConfig, quality_mask, timeline_quality
+from .recovery import (
+    AutoZeroRetrigger,
+    SaturationEpisode,
+    SaturationEpisodeDetector,
+)
+
+__all__ = [
+    "AutoZeroRetrigger",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "KIND_LAYERS",
+    "QualityConfig",
+    "SaturationEpisode",
+    "SaturationEpisodeDetector",
+    "quality_mask",
+    "timeline_quality",
+]

@@ -1,0 +1,187 @@
+"""Per-sample quality mask: flag degraded samples instead of hiding them.
+
+The mask is the detection half of the fault contract (docs/THEORY.md
+§9): every delivered sample is either good (``True``) or flagged
+(``False``), and downstream consumers — calibration above all — must
+treat flagged samples as untrustworthy rather than silently mapping them
+to mmHg. Five detectors contribute, each matched to a fault class:
+
+* **rails** — codes at or near the 12-bit limits (modulator saturation,
+  stuck comparator);
+* **gap guard** — samples just after a detected frame-loss gap, where
+  the record's timeline is broken;
+* **spike** — isolated departures from a 3-point median (word
+  corruption);
+* **jump** — sample-to-sample steps beyond a threshold (dropout edges);
+* **flatline / baseline drift** — rolling-window statistics (stiction,
+  capacitance drift). These two are *opt-in*: a resting physiologic
+  record can be legitimately quiet, so their thresholds default to off
+  and are enabled by harnesses that know their signal.
+
+Flagged regions are dilated by a guard radius so the decimation filter's
+memory (~9 output words) around a fault never leaks unflagged corrupted
+samples; window detectors flag their whole evidence window backwards,
+covering detection lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Detector thresholds for :func:`quality_mask`.
+
+    Thresholds are in code LSB (the 12-bit output words). ``None``
+    disables a detector. Defaults are conservative: only rail, gap and
+    spike detection — safe on any physiologic record — are active.
+    """
+
+    #: |code| at or above this counts as railed (0.98 of full scale).
+    rail_level: int = 2007
+    #: Samples flagged after each detected frame-loss gap.
+    gap_guard: int = 12
+    #: Deviation from the 3-point running median that flags a spike.
+    spike_threshold: float | None = 32.0
+    #: Sample-to-sample step that flags both neighbours (off by default).
+    jump_threshold: float | None = None
+    #: Rolling window [samples] for the drift and flatline detectors.
+    window: int = 64
+    #: Rolling-mean departure from the initial baseline that flags drift.
+    drift_threshold: float | None = None
+    #: Rolling standard deviation below which the record is flat.
+    flat_threshold: float | None = None
+    #: Samples skipped before the drift baseline window starts.
+    warmup: int = 16
+    #: Radius of the final dilation of all flagged regions.
+    dilate: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rail_level < 1:
+            raise ConfigurationError("rail level must be >= 1 LSB")
+        if self.gap_guard < 0 or self.warmup < 0 or self.dilate < 0:
+            raise ConfigurationError(
+                "gap guard, warmup and dilation must be >= 0"
+            )
+        if self.window < 2:
+            raise ConfigurationError("detector window must be >= 2")
+
+
+def _dilate(bad: np.ndarray, radius: int) -> np.ndarray:
+    if radius <= 0 or not bad.any():
+        return bad
+    kernel = np.ones(2 * radius + 1)
+    return np.convolve(bad.astype(float), kernel, mode="same") > 0.0
+
+
+def _flag_windows(
+    size: int, ends: np.ndarray, window: int
+) -> np.ndarray:
+    """Flag ``[end - window + 1, end]`` for each hit-window end index."""
+    bad = np.zeros(size, dtype=bool)
+    for end in ends:
+        bad[max(0, int(end) - window + 1) : int(end) + 1] = True
+    return bad
+
+
+def _rolling_mean_std(
+    x: np.ndarray, window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed mean/std; entry ``i`` covers ``x[i : i + window]``."""
+    padded = np.concatenate(([0.0], np.cumsum(x)))
+    padded2 = np.concatenate(([0.0], np.cumsum(x * x)))
+    total = padded[window:] - padded[:-window]
+    total2 = padded2[window:] - padded2[:-window]
+    mean = total / window
+    var = np.maximum(total2 / window - mean * mean, 0.0)
+    return mean, np.sqrt(var)
+
+
+def quality_mask(
+    codes: np.ndarray,
+    gaps: tuple = (),
+    config: QualityConfig | None = None,
+) -> np.ndarray:
+    """Build the per-sample quality mask of one decimated record.
+
+    Parameters
+    ----------
+    codes:
+        The received decimated words (any integer dtype).
+    gaps:
+        :class:`~repro.daq.stream.StreamGap` entries of the element's
+        stream, whose ``sample_index`` positions anchor the gap guard.
+    config:
+        Detector thresholds (default :class:`QualityConfig`).
+
+    Returns a boolean array of ``codes.size``; ``True`` means good.
+    """
+    cfg = config or QualityConfig()
+    x = np.asarray(codes, dtype=float)
+    n = x.size
+    bad = np.zeros(n, dtype=bool)
+    if n == 0:
+        return ~bad
+
+    # Rails: saturation at either 12-bit limit (asymmetric two's
+    # complement: the negative rail sits one LSB lower).
+    bad |= (x >= cfg.rail_level) | (x <= -(cfg.rail_level + 1))
+
+    # Frame-loss gap guard: the timeline is broken at the gap, so the
+    # first words after it cannot be trusted for feature timing.
+    for gap in gaps:
+        start = int(gap.sample_index)
+        bad[max(0, start - 1) : start + cfg.gap_guard] = True
+
+    if cfg.spike_threshold is not None and n >= 3:
+        stacked = np.column_stack((x[:-2], x[1:-1], x[2:]))
+        med = np.median(stacked, axis=1)
+        bad[1:-1] |= np.abs(x[1:-1] - med) > cfg.spike_threshold
+
+    if cfg.jump_threshold is not None and n >= 2:
+        step = np.abs(np.diff(x)) > cfg.jump_threshold
+        bad[:-1] |= step
+        bad[1:] |= step
+
+    w = cfg.window
+    if n >= w and (
+        cfg.drift_threshold is not None or cfg.flat_threshold is not None
+    ):
+        mean, std = _rolling_mean_std(x, w)
+        ends = np.arange(mean.size) + w - 1  # window end indices
+        if cfg.drift_threshold is not None and n >= cfg.warmup + w:
+            baseline = float(np.mean(x[cfg.warmup : cfg.warmup + w]))
+            hits = np.abs(mean - baseline) > cfg.drift_threshold
+            # Never flag the baseline window itself.
+            hits[: cfg.warmup + 1] = False
+            bad |= _flag_windows(n, ends[hits], w)
+        if cfg.flat_threshold is not None:
+            hits = std < cfg.flat_threshold
+            bad |= _flag_windows(n, ends[hits], w)
+
+    return ~_dilate(bad, cfg.dilate)
+
+
+def timeline_quality(
+    received_quality: np.ndarray, valid_mask: np.ndarray
+) -> np.ndarray:
+    """Expand a received-sample quality mask onto the gap-filled timeline.
+
+    ``valid_mask`` is the second output of
+    :meth:`~repro.daq.stream.SampleStream.zero_filled`; positions where
+    frames were lost are flagged bad (there is no sample to trust).
+    """
+    received_quality = np.asarray(received_quality, dtype=bool)
+    valid_mask = np.asarray(valid_mask, dtype=bool)
+    if int(valid_mask.sum()) != received_quality.size:
+        raise ConfigurationError(
+            "valid mask does not match the received sample count"
+        )
+    out = np.zeros(valid_mask.size, dtype=bool)
+    out[np.flatnonzero(valid_mask)] = received_quality
+    return out

@@ -1,0 +1,128 @@
+"""Fault taxonomy: what can break, where, and how it is parameterized.
+
+Every fault kind belongs to one pipeline layer, which fixes where the
+injector applies it and on which index timeline (modulator samples,
+decimated words or USB frames) its events are scheduled:
+
+========================  =======  ============================================
+kind                      layer    effect / ``magnitude`` semantics
+========================  =======  ============================================
+``element_dropout``       array    membrane decouples: pressure field forced to
+                                   zero for the event window (magnitude unused)
+``element_stiction``      array    membrane sticks: the field is frozen at its
+                                   event-start value (magnitude unused)
+``capacitance_drift``     array    baseline ramps away at ``magnitude`` Pa/s,
+                                   clamped to the membrane's safe range
+``sdm_saturation``        sdm      loop input pinned at ``magnitude`` × the
+                                   modulator full scale (>= 1 rails it)
+``stuck_comparator``      sdm      quantizer output stuck at +1 (``magnitude``
+                                   >= 0) or -1 for the window
+``word_corruption``       fpga     one decimated word XORed with
+                                   ``int(magnitude)`` (a bit mask, >= 1)
+``frame_drop``            usb      one frame vanishes from the link
+``frame_truncation``      usb      one frame is cut to ``magnitude`` of its
+                                   bytes (a fraction in (0, 1); default 0.5)
+``frame_bitflip``         usb      one bit of one frame byte flips (position
+                                   drawn from the event's seeded detail)
+========================  =======  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Fault kind -> pipeline layer it is injected at.
+KIND_LAYERS: dict[str, str] = {
+    "element_dropout": "array",
+    "element_stiction": "array",
+    "capacitance_drift": "array",
+    "sdm_saturation": "sdm",
+    "stuck_comparator": "sdm",
+    "word_corruption": "fpga",
+    "frame_drop": "usb",
+    "frame_truncation": "usb",
+    "frame_bitflip": "usb",
+}
+
+#: All supported fault kinds, in pipeline order.
+FAULT_KINDS: tuple[str, ...] = tuple(KIND_LAYERS)
+
+#: Layers whose events are windows on the modulator-sample timeline.
+_MOD_RATE_LAYERS = ("array", "sdm")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault process to schedule.
+
+    Either give a ``rate_hz`` (events drawn from a seeded Poisson process
+    over the injector's horizon) or pin a single event with ``start_s``.
+    ``duration_s`` only matters for window kinds (array/sdm layers);
+    word- and frame-level faults are point events.
+    """
+
+    kind: str
+    rate_hz: float = 0.0
+    start_s: float | None = None
+    duration_s: float = 0.2
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_LAYERS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.rate_hz < 0:
+            raise ConfigurationError("fault rate must be >= 0")
+        if self.rate_hz == 0 and self.start_s is None:
+            raise ConfigurationError(
+                "fault spec needs a rate_hz or an explicit start_s"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError("fault duration must be positive")
+        if not np.isfinite(self.magnitude):
+            raise ConfigurationError("fault magnitude must be finite")
+        if self.kind == "word_corruption" and int(self.magnitude) < 1:
+            raise ConfigurationError(
+                "word_corruption magnitude is an XOR bit mask and must "
+                "be >= 1 (e.g. 1024 to flip bit 10)"
+            )
+        if self.kind == "frame_truncation" and not (
+            0.0 < self.magnitude < 1.0
+        ):
+            raise ConfigurationError(
+                "frame_truncation magnitude is the kept byte fraction "
+                "and must lie in (0, 1)"
+            )
+
+    @property
+    def layer(self) -> str:
+        return KIND_LAYERS[self.kind]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault occurrence (resolved from a spec)."""
+
+    spec_index: int
+    kind: str
+    layer: str
+    start_s: float
+    duration_s: float
+    magnitude: float
+    #: Seeded uniform draw in [0, 1) that parameterizes per-event detail
+    #: (e.g. which byte/bit of a frame flips) without runtime randomness.
+    detail: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def is_window(self) -> bool:
+        """Whether the event spans a time window (array/sdm layers)."""
+        return self.layer in _MOD_RATE_LAYERS

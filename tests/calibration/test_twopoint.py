@@ -68,3 +68,76 @@ class TestErrorPropagation:
     def test_describe(self):
         cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
         assert "mmHg" in cal.describe()
+
+
+class TestScalarContract:
+    def test_apply_scalar_returns_python_float(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        out = cal.apply(0.03)
+        assert type(out) is float
+        assert out == pytest.approx(100.0)
+
+    def test_invert_scalar_returns_python_float(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        out = cal.invert(100.0)
+        assert type(out) is float
+        assert out == pytest.approx(0.03)
+
+    def test_apply_array_stays_array(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        out = cal.apply(np.array([0.01, 0.05]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_invert_rejects_zero_gain(self):
+        cal = TwoPointCalibration(
+            gain_mmhg_per_raw=0.0,
+            offset_mmhg=100.0,
+            raw_systolic=0.05,
+            raw_diastolic=0.01,
+            cuff_systolic_mmhg=120.0,
+            cuff_diastolic_mmhg=80.0,
+        )
+        with pytest.raises(CalibrationError, match="degenerate"):
+            cal.invert(100.0)
+
+    def test_invert_rejects_subtolerance_gain(self):
+        cal = TwoPointCalibration(
+            gain_mmhg_per_raw=1e-15,
+            offset_mmhg=100.0,
+            raw_systolic=0.05,
+            raw_diastolic=0.01,
+            cuff_systolic_mmhg=120.0,
+            cuff_diastolic_mmhg=80.0,
+        )
+        with pytest.raises(CalibrationError, match="degenerate"):
+            cal.invert(np.array([90.0, 110.0]))
+
+    def test_tiny_but_legitimate_gain_accepted(self):
+        cal = TwoPointCalibration(
+            gain_mmhg_per_raw=1e-9,
+            offset_mmhg=100.0,
+            raw_systolic=0.05,
+            raw_diastolic=0.01,
+            cuff_systolic_mmhg=120.0,
+            cuff_diastolic_mmhg=80.0,
+        )
+        assert cal.invert(100.0 + 1e-6) == pytest.approx(1e3)
+
+
+class TestMaskedApply:
+    def test_flagged_samples_masked(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        raw = np.array([0.01, 0.03, 0.05])
+        quality = np.array([True, False, True])
+        out = cal.apply_masked(raw, quality)
+        assert isinstance(out, np.ma.MaskedArray)
+        assert list(out.mask) == [False, True, False]
+        assert out.compressed() == pytest.approx([80.0, 120.0])
+        # Masked statistics exclude the flagged sample.
+        assert out.mean() == pytest.approx(100.0)
+
+    def test_shape_mismatch_rejected(self):
+        cal = TwoPointCalibration.from_features(make_features(), 120.0, 80.0)
+        with pytest.raises(ConfigurationError):
+            cal.apply_masked(np.zeros(3), np.ones(4, dtype=bool))

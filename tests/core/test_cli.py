@@ -39,7 +39,7 @@ class TestCLI:
             "baselines", "feedback", "osr", "dynamic-range",
             "noise-budget", "architectures", "robustness",
             "robustness-sweep", "design-space", "pressure-linearity",
-            "population", "chopper",
+            "population", "chopper", "faults",
         }
         assert expected == set(EXPERIMENTS)
 

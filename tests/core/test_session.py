@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.chain import ReadoutChain
-from repro.core.session import STAGES, AcquisitionSession, PipelineTelemetry
+from repro.core.session import STAGES, PipelineTelemetry
 from repro.errors import ConfigurationError
 
 
@@ -187,3 +187,55 @@ class TestTelemetryValidation:
 
     def test_throughput_zero_without_time(self):
         assert PipelineTelemetry().throughput_msps() == 0.0
+
+
+class TestDegenerateChunking:
+    """Zero-length and single-sample chunks through the session."""
+
+    def test_zero_length_chunks_interleaved(self):
+        field = pressure_field(128 * 40)
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        batch = chain.record_pressure(field, element=1)
+
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=1)
+        empty = field[:0]
+        session.feed_pressure(empty)
+        session.feed_pressure(field[:4000])
+        session.feed_pressure(empty)
+        session.feed_pressure(field[4000:])
+        session.feed_pressure(empty)
+        session.finish()
+        rec = session.recording()
+        assert np.array_equal(rec.codes, batch.codes)
+        session.telemetry.reconcile()
+
+    def test_single_sample_chunks_bit_identical(self):
+        field = pressure_field(128 * 8)  # short: one row per feed call
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        batch = chain.record_pressure(field, element=1)
+
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=1)
+        for row in field:
+            session.feed_pressure(row[None, :])
+        session.finish()
+        rec = session.recording()
+        assert np.array_equal(rec.codes, batch.codes)
+        session.telemetry.reconcile()
+
+    def test_mixed_degenerate_splits_reconcile(self):
+        field = pressure_field(128 * 40)
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        batch = chain.record_pressure(field, element=1)
+
+        chain = ReadoutChain(rng=np.random.default_rng(3))
+        session = chain.session(element=1)
+        cuts = [0, 0, 1, 2, 129, 130, 130, field.shape[0]]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            session.feed_pressure(field[lo:hi])
+        session.finish()
+        rec = session.recording()
+        assert np.array_equal(rec.codes, batch.codes)
+        assert rec.quality.all()
+        session.telemetry.reconcile()

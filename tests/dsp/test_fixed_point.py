@@ -137,3 +137,26 @@ class TestWidths:
             cic_register_width(0, 3, 32)
         with pytest.raises(ConfigurationError):
             required_bits_for_magnitude(-1)
+
+
+class TestInt16Rails:
+    """The FPGA word path clamps to the asymmetric i16 range before
+    framing; silent astype() wraparound is the bug these rails pin."""
+
+    def test_positive_rail_is_32767(self):
+        out = saturate(np.array([32767, 32768, 40000, 10**9]), 16)
+        assert out.tolist() == [32767, 32767, 32767, 32767]
+
+    def test_negative_rail_is_minus_32768(self):
+        out = saturate(np.array([-32768, -32769, -40000, -(10**9)]), 16)
+        assert out.tolist() == [-32768, -32768, -32768, -32768]
+
+    def test_rails_are_asymmetric(self):
+        # Two's complement: |min| = max + 1.
+        out = saturate(np.array([-32768, 32767]), 16)
+        assert out[0] == -(out[1] + 1)
+
+    def test_saturate_differs_from_wrap_past_rail(self):
+        x = np.array([40000])
+        assert saturate(x, 16)[0] == 32767
+        assert wrap_twos_complement(x, 16)[0] == 40000 - 65536

@@ -1,0 +1,156 @@
+"""Quality-mask detectors and the timeline expansion."""
+
+import numpy as np
+import pytest
+
+from repro.daq.stream import StreamGap
+from repro.errors import ConfigurationError
+from repro.faults import QualityConfig, quality_mask, timeline_quality
+
+#: Precision config: every windowed detector off, no dilation, so each
+#: test sees exactly one detector's verdict.
+BARE = QualityConfig(spike_threshold=None, dilate=0)
+
+
+class TestConfigValidation:
+    def test_bad_rail_level(self):
+        with pytest.raises(ConfigurationError):
+            QualityConfig(rail_level=0)
+
+    def test_negative_guards(self):
+        with pytest.raises(ConfigurationError):
+            QualityConfig(gap_guard=-1)
+        with pytest.raises(ConfigurationError):
+            QualityConfig(dilate=-1)
+
+    def test_tiny_window(self):
+        with pytest.raises(ConfigurationError):
+            QualityConfig(window=1)
+
+
+class TestRails:
+    def test_clean_record_all_good(self):
+        codes = np.round(100 * np.sin(np.arange(200) / 5.0)).astype(int)
+        assert quality_mask(codes).all()
+
+    def test_empty_record(self):
+        mask = quality_mask(np.array([], dtype=int))
+        assert mask.size == 0
+
+    def test_positive_rail_flagged(self):
+        codes = np.zeros(50, dtype=int)
+        codes[20] = 2047
+        mask = quality_mask(codes, config=BARE)
+        assert not mask[20]
+        assert mask.sum() == 49
+
+    def test_asymmetric_rail_levels(self):
+        # Two's complement: -2008 rails where +2007 does, and the codes
+        # one LSB inside either rail stay good.
+        codes = np.array([2007, -2008, 2006, -2007])
+        mask = quality_mask(codes, config=BARE)
+        assert list(mask) == [False, False, True, True]
+
+
+class TestGapGuard:
+    def test_guard_window_after_gap(self):
+        codes = np.zeros(100, dtype=int)
+        gap = StreamGap(sample_index=40, lost_frames=1, lost_samples=8)
+        mask = quality_mask(codes, gaps=(gap,), config=BARE)
+        # [sample_index - 1, sample_index + gap_guard) is flagged.
+        assert mask[:39].all()
+        assert not mask[39:52].any()
+        assert mask[52:].all()
+
+
+class TestSpike:
+    def test_isolated_spike_flagged(self):
+        codes = np.zeros(60, dtype=int)
+        codes[30] = 200
+        mask = quality_mask(
+            codes, config=QualityConfig(dilate=0)
+        )
+        assert not mask[30]
+        assert mask.sum() == 59
+
+    def test_threshold_respected(self):
+        codes = np.zeros(60, dtype=int)
+        codes[30] = 20  # below the 32-LSB default
+        assert quality_mask(codes, config=QualityConfig(dilate=0)).all()
+
+
+class TestJump:
+    def test_step_flags_both_neighbours(self):
+        codes = np.zeros(40, dtype=int)
+        codes[20:] = 100
+        cfg = QualityConfig(
+            spike_threshold=None, jump_threshold=50.0, dilate=0
+        )
+        mask = quality_mask(codes, config=cfg)
+        assert not mask[19] and not mask[20]
+        assert mask[:19].all() and mask[21:].all()
+
+
+class TestWindowedDetectors:
+    def test_drift_flagged_backwards_over_window(self):
+        n, w = 400, 32
+        codes = np.zeros(n, dtype=int)
+        codes[200:] = 50  # baseline walks away at sample 200
+        cfg = QualityConfig(
+            spike_threshold=None,
+            drift_threshold=10.0,
+            window=w,
+            dilate=0,
+        )
+        mask = quality_mask(codes, config=cfg)
+        assert not mask[200:].any()  # the drifted stretch is flagged
+        # Backward whole-window flagging reaches at most w-1 before the
+        # first deviating window's end; the early record stays good.
+        assert mask[: 200 - w].all()
+
+    def test_flatline_flagged(self):
+        rng = np.random.default_rng(0)
+        codes = np.round(
+            30 * np.sin(np.arange(400) / 3.0) + rng.normal(0, 2, 400)
+        ).astype(int)
+        codes[150:250] = codes[150]  # stuck stretch
+        cfg = QualityConfig(
+            spike_threshold=None,
+            flat_threshold=1.0,
+            window=32,
+            dilate=0,
+        )
+        mask = quality_mask(codes, config=cfg)
+        assert not mask[160:240].any()
+        assert mask[:100].all() and mask[300:].all()
+
+    def test_windowed_detectors_default_off(self):
+        # A legitimately quiet record must not be flagged by default.
+        codes = np.zeros(400, dtype=int)
+        assert quality_mask(codes).all()
+
+
+class TestDilation:
+    def test_dilation_radius(self):
+        codes = np.zeros(60, dtype=int)
+        codes[30] = 2047
+        mask = quality_mask(
+            codes, config=QualityConfig(spike_threshold=None, dilate=4)
+        )
+        assert not mask[26:35].any()
+        assert mask[:26].all() and mask[35:].all()
+
+
+class TestTimelineQuality:
+    def test_expansion_marks_lost_positions_bad(self):
+        received = np.array([True, False, True])
+        valid = np.array([True, True, False, False, True])
+        timeline = timeline_quality(received, valid)
+        assert list(timeline) == [True, False, False, False, True]
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timeline_quality(
+                np.array([True, True]),
+                np.array([True, False, False]),
+            )

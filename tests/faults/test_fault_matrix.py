@@ -1,0 +1,106 @@
+"""Fault-matrix harness: degradation contract, reproducibility, fan-out."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fault_matrix import (
+    FaultMatrixResult,
+    run_fault_matrix,
+)
+from repro.faults import FAULT_KINDS
+
+
+@pytest.fixture(scope="module")
+def matrix() -> FaultMatrixResult:
+    """One full-kind run shared by the contract assertions."""
+    return run_fault_matrix(duration_s=2.0, jobs=1)
+
+
+class TestDegradationContract:
+    def test_every_cell_injects_events(self, matrix):
+        assert len(matrix.cells) == len(FAULT_KINDS)
+        for cell in matrix.cells:
+            assert cell.events_injected >= 1, cell.kind
+
+    def test_every_event_detected(self, matrix):
+        for cell in matrix.cells:
+            assert cell.events_detected >= cell.events_injected, cell.kind
+
+    def test_zero_silent_corruption(self, matrix):
+        assert matrix.silent_corruption_total == 0
+        for cell in matrix.cells:
+            assert cell.silent_corruption_samples == 0, cell.kind
+
+    def test_every_record_survives(self, matrix):
+        assert matrix.all_survived
+        for cell in matrix.cells:
+            assert cell.words > 0, cell.kind
+
+    def test_faults_actually_corrupt_or_lose_data(self, matrix):
+        """The matrix must not pass vacuously: each cell either corrupts
+        received samples (all flagged) or destroys frames (all
+        accounted)."""
+        for cell in matrix.cells:
+            damage = (
+                cell.corrupted_samples
+                + cell.lost_samples
+                + cell.frames_unaccounted
+            )
+            assert damage > 0, cell.kind
+            assert (
+                cell.flagged_corrupted_samples == cell.corrupted_samples
+            ), cell.kind
+
+    def test_contract_summary(self, matrix):
+        assert matrix.contract_holds
+        assert "contract holds" in matrix.describe()
+
+    def test_sdm_cells_retrigger_autozero(self, matrix):
+        for cell in matrix.cells:
+            if cell.kind in ("sdm_saturation", "stuck_comparator"):
+                assert cell.autozero_retriggers >= 1, cell.kind
+
+
+class TestReproducibility:
+    KINDS = ("element_dropout", "frame_drop")
+
+    def test_jobs_do_not_change_results(self):
+        a = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, jobs=1)
+        b = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, jobs=2)
+        assert a.cells == b.cells
+
+    def test_same_seed_same_matrix(self):
+        a = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, seed=5)
+        b = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, seed=5)
+        assert a.cells == b.cells
+
+    def test_seed_changes_schedules(self):
+        a = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, seed=5)
+        b = run_fault_matrix(kinds=self.KINDS, duration_s=1.0, seed=6)
+        assert [c.seed for c in a.cells] != [c.seed for c in b.cells]
+
+
+class TestHarnessSurface:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fault_matrix(kinds=("gremlin",), duration_s=1.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fault_matrix(duration_s=0.0)
+
+    def test_rows_formats(self, matrix):
+        rows = matrix.rows()
+        assert all(len(r) == 3 for r in rows)
+        table = matrix.matrix_rows()
+        assert len(table) == len(matrix.cells) + 1  # header row
+        assert table[0][0] == "kind"
+        widths = {len(r) for r in table}
+        assert len(widths) == 1  # rectangular
+
+    def test_cells_carry_numpy_free_scalars(self, matrix):
+        """Results cross process boundaries; keep them plain."""
+        cell = matrix.cells[0]
+        assert isinstance(cell.events_injected, int)
+        assert isinstance(cell.quality_fraction, float)
+        assert isinstance(cell.survived, bool)
