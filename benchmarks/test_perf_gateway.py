@@ -1,0 +1,182 @@
+"""PERF bench: the acquisition gateway under concurrent faulted load.
+
+One :class:`~repro.gateway.server.GatewayServer`, a fleet of device
+simulators (half of them carrying seeded link-fault schedules), and two
+numbers CI tracks in ``BENCH_gateway.json``:
+
+* **sessions/s** — complete device sessions (HELLO → frames → BYE)
+  the gateway closes per wall-clock second;
+* **p99 end-to-end frame latency** — client ``on_frame_sent`` stamp to
+  gateway decode stamp, measured per frame on the same monotonic clock,
+  faults and replays included.
+
+The run is also a correctness gate: every session's conservation books
+must reconcile and no frame may go missing without being counted.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_rows
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.gateway.chaos import CHAOS_KINDS
+from repro.gateway.client import DeviceClient, synthetic_payloads
+from repro.gateway.server import GatewayServer
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+
+N_DEVICES = 40
+FRAMES_PER_DEVICE = 100
+SAMPLES_PER_FRAME = 32
+FAULT_RATE_HZ = 1.0
+FRAME_RATE_HZ = 50.0
+
+
+class ProbedServer(GatewayServer):
+    """Gateway with a per-frame decode-stamp probe on every session."""
+
+    def __init__(self, probe, **kwargs):
+        super().__init__(**kwargs)
+        self._probe = probe
+
+    async def _handshake(self, reader, writer):
+        session = await super()._handshake(reader, writer)
+        if session is not None and session.frame_hook is None:
+            session.frame_hook = self._probe(session.device_id)
+        return session
+
+
+def _fault_injector(seed: int) -> FaultInjector:
+    horizon_s = FRAMES_PER_DEVICE / FRAME_RATE_HZ
+    specs = [
+        FaultSpec(kind=kind, rate_hz=FAULT_RATE_HZ, magnitude=m)
+        for kind, m in zip(CHAOS_KINDS, (1.0, 0.5, 1.0, 1.0))
+    ]
+    return FaultInjector(specs, seed=seed, horizon_s=horizon_s)
+
+
+async def _run_fleet():
+    sent: dict[int, dict[int, float]] = {
+        did: {} for did in range(N_DEVICES)
+    }
+    latencies: list[float] = []
+
+    def probe(device_id):
+        stamps = sent[device_id]
+
+        def on_decoded(sequence, t_decoded):
+            t_sent = stamps.get(sequence)
+            if t_sent is not None:
+                latencies.append(t_decoded - t_sent)
+
+        return on_decoded
+
+    server = ProbedServer(probe)
+    host, port = await server.start()
+    clients = []
+    for did in range(N_DEVICES):
+        stamps = sent[did]
+
+        def on_sent(sequence, t, stamps=stamps):
+            stamps[sequence] = t
+
+        clients.append(
+            DeviceClient(
+                host,
+                port,
+                device_id=did,
+                payloads=synthetic_payloads(
+                    FRAMES_PER_DEVICE, SAMPLES_PER_FRAME
+                ),
+                faults=_fault_injector(did) if did % 2 == 0 else None,
+                fault_frame_rate_hz=FRAME_RATE_HZ,
+                replay_limit=FRAMES_PER_DEVICE + 1,
+                on_frame_sent=on_sent,
+            )
+        )
+
+    t0 = time.perf_counter()
+    reports = await asyncio.gather(*(c.run() for c in clients))
+    assert await server.drain(timeout_s=10.0)
+    wall = time.perf_counter() - t0
+    await server.stop()
+    server.reconcile()
+    return server, reports, latencies, wall
+
+
+def test_perf_gateway():
+    server, reports, latencies, wall = asyncio.run(_run_fleet())
+
+    fleet = server.fleet_telemetry()
+    frames_sent = sum(r.frames_sent for r in reports)
+    faults = sum(r.faults_injected for r in reports)
+
+    # -- correctness gate: the load test is also a conservation audit.
+    assert all(r.bye_sent for r in reports)
+    assert frames_sent == N_DEVICES * FRAMES_PER_DEVICE
+    assert fleet.frames_framed == frames_sent
+    assert (
+        fleet.frames_decoded + fleet.lost_frames + fleet.frames_unaccounted
+        == frames_sent
+    )
+    assert fleet.frames_unaccounted >= 0
+    assert faults > 0  # the faulted half actually misbehaved
+    assert latencies, "latency probe saw no frames"
+
+    lat_ms = np.sort(np.array(latencies)) * 1e3
+    p50 = float(np.percentile(lat_ms, 50))
+    p99 = float(np.percentile(lat_ms, 99))
+    sessions_per_s = N_DEVICES / wall
+    frames_per_s = fleet.frames_decoded / wall
+
+    # Loopback decode latency is sub-millisecond in the common case; a
+    # generous ceiling still catches an event-loop stall or a queue that
+    # stopped draining.
+    assert p99 < 1000.0
+
+    report = {
+        "devices": N_DEVICES,
+        "frames_per_device": FRAMES_PER_DEVICE,
+        "samples_per_frame": SAMPLES_PER_FRAME,
+        "faulty_devices": sum(1 for d in range(N_DEVICES) if d % 2 == 0),
+        "faults_injected": faults,
+        "wall_seconds": wall,
+        "sessions_per_second": sessions_per_s,
+        "frames_per_second": frames_per_s,
+        "frames_decoded": fleet.frames_decoded,
+        "frames_lost": fleet.lost_frames,
+        "frames_stale": fleet.stale_frames,
+        "frames_unaccounted": fleet.frames_unaccounted,
+        "crc_errors": fleet.crc_errors,
+        "latency_ms": {
+            "p50": p50,
+            "p99": p99,
+            "max": float(lat_ms[-1]),
+            "samples": int(lat_ms.size),
+        },
+        "reconciled": True,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print_rows(
+        "PERF — gateway fleet: 40 devices, half faulted",
+        [
+            ("wall [s]", "(whole fleet)", f"{wall:.2f}"),
+            ("sessions/s", "closed with BYE", f"{sessions_per_s:.1f}"),
+            ("frames/s", "decoded", f"{frames_per_s:.0f}"),
+            ("latency p50 [ms]", "send -> decode", f"{p50:.2f}"),
+            ("latency p99 [ms]", "< 1000", f"{p99:.2f}"),
+            (
+                "loss accounted",
+                "decoded+lost+unacc == sent",
+                f"{fleet.lost_frames} lost, "
+                f"{fleet.frames_unaccounted} unaccounted",
+            ),
+            ("faults injected", "> 0", f"{faults}"),
+        ],
+    )

@@ -11,6 +11,9 @@
     python -m repro ablation osr --jobs 4 # ablation sweeps + telemetry
     python -m repro faults --jobs 4       # fault matrix, degradation contract
     python -m repro stream                # live chunked acquisition demo
+    python -m repro gateway               # serve the acquisition gateway
+    python -m repro gateway --chaos 50    # fleet chaos audit (CI smoke)
+    python -m repro device --id 3         # one simulated device stream
     python -m repro describe              # print the system configuration
 
 Every experiment prints the same paper-vs-measured rows the benchmark
@@ -350,12 +353,39 @@ def cmd_stream(
     Runs the Fig. 9 physical setup through
     :meth:`~repro.core.monitor.BloodPressureMonitor.record_streaming`,
     printing per-chunk progress and the final per-stage telemetry.
+    Ctrl-C mid-run flushes the partial acquisition and prints its
+    telemetry (exit 0); a broken pipe (``repro stream | head``) exits 0
+    without a traceback.
     """
+    try:
+        return _cmd_stream(
+            duration_s=duration_s,
+            chunk_s=chunk_s,
+            element=element,
+            backend=backend,
+        )
+    except BrokenPipeError:
+        # Downstream closed the pipe; there is nowhere left to print.
+        # Point stdout at devnull so interpreter shutdown does not try
+        # to flush the dead pipe and print a spurious traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _cmd_stream(
+    duration_s: float,
+    chunk_s: float,
+    element: int | None,
+    backend: str,
+) -> int:
     import numpy as np
 
     from .baselines.cuff import OscillometricCuff
     from .core.chain import ReadoutChain
     from .core.monitor import BloodPressureMonitor
+    from .errors import ConfigurationError
     from .params import PASCAL_PER_MMHG, PatientParams
     from .physiology.patient import VirtualPatient
     from .tonometry.contact import ContactModel
@@ -402,7 +432,11 @@ def cmd_stream(
     else:
         print(f"scan: skipped, element {element} forced")
 
+    last_session = None
+
     def on_chunk(session, delivered) -> None:
+        nonlocal last_session
+        last_session = session
         t = session.telemetry
         print(
             f"\r  chunk {t.chunks:>4d}: {t.words_delivered:>7d} words, "
@@ -412,14 +446,39 @@ def cmd_stream(
             flush=True,
         )
 
-    recording, telemetry = monitor.record_streaming(
-        truth,
-        scan_total,
-        scan_total + duration_s,
-        element=element,
-        chunk_s=chunk_s,
-        on_chunk=on_chunk,
-    )
+    try:
+        recording, telemetry = monitor.record_streaming(
+            truth,
+            scan_total,
+            scan_total + duration_s,
+            element=element,
+            chunk_s=chunk_s,
+            on_chunk=on_chunk,
+        )
+    except KeyboardInterrupt:
+        # Flush what was acquired and report it — an interrupted watch
+        # session still ends with honest books.
+        print(flush=True)
+        if last_session is None:
+            print("interrupted before the first chunk")
+            return 0
+        last_session.finish()
+        telemetry = last_session.telemetry
+        print(telemetry.describe())
+        try:
+            telemetry.reconcile()
+            print(
+                f"interrupted: {telemetry.words_delivered} words flushed "
+                f"from element {element}; telemetry reconciles"
+            )
+        except ConfigurationError:
+            # The interrupt landed mid-stage; the counters are a torn
+            # snapshot. Still honest output, just flagged as partial.
+            print(
+                f"interrupted mid-chunk: {telemetry.words_delivered} "
+                f"words flushed from element {element}"
+            )
+        return 0
     print(flush=True)
     telemetry.reconcile()
     print(telemetry.describe())
@@ -427,6 +486,138 @@ def cmd_stream(
         f"recorded {recording.values.size} words at "
         f"{recording.sample_rate_hz:.0f} S/s from element {element} "
         f"({recording.lost_samples} lost samples); telemetry reconciles"
+    )
+    return 0
+
+
+def cmd_gateway(
+    port: int = 9750,
+    metrics_port: int | None = None,
+    queue_chunks: int = 64,
+    chaos: int | None = None,
+    frames: int = 120,
+    faulty_fraction: float = 0.5,
+    seed: int = 0,
+    json_path: str | None = None,
+) -> int:
+    """Serve the acquisition gateway — or audit it at fleet scale.
+
+    Without ``--chaos``, binds the gateway and runs until SIGINT/SIGTERM,
+    then prints the fleet metrics JSON. With ``--chaos N``, spins up N
+    in-process simulated devices (half with independent seeded link
+    faults and forced reconnects), audits every connection for silent
+    corruption / unbounded memory / leaked tasks, prints the report and
+    exits nonzero on any violation — the CI smoke gate.
+    """
+    import asyncio
+    import json
+    import signal
+
+    from .gateway import GatewayServer, run_chaos
+
+    if chaos is not None:
+        if chaos < 1:
+            print("need >= 1 chaos device", file=sys.stderr)
+            return 2
+        report = asyncio.run(
+            run_chaos(
+                n_devices=chaos,
+                frames_per_device=frames,
+                faulty_fraction=faulty_fraction,
+                seed=seed,
+                queue_chunks=queue_chunks,
+            )
+        )
+        payload = json.dumps(report.as_dict(), indent=2)
+        print(payload)
+        if json_path:
+            with open(json_path, "w") as fh:
+                fh.write(payload + "\n")
+        return 0 if report.ok else 1
+
+    async def serve() -> dict:
+        server = GatewayServer(
+            port=port,
+            metrics_port=metrics_port,
+            queue_chunks=queue_chunks,
+        )
+        host, bound = await server.start()
+        note = f"gateway listening on {host}:{bound}"
+        if server.metrics_port is not None:
+            note += f" (metrics on :{server.metrics_port})"
+        print(note, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await server.stop()
+        server.reconcile()
+        return server.metrics()
+
+    print(json.dumps(asyncio.run(serve()), indent=2))
+    return 0
+
+
+def cmd_device(
+    host: str = "127.0.0.1",
+    port: int = 9750,
+    device_id: int = 0,
+    frames: int = 200,
+    samples_per_frame: int = 64,
+    fault_kinds: list[str] | None = None,
+    fault_rate: float = 0.0,
+    seed: int = 0,
+    drop_every: int | None = None,
+    pace_s: float = 0.0,
+) -> int:
+    """Run one simulated device against a gateway; print its report."""
+    import asyncio
+
+    from .errors import GatewayError, ReproError
+    from .gateway import DeviceClient, synthetic_payloads
+
+    faults = None
+    if fault_kinds:
+        from .faults import FaultInjector, FaultSpec
+
+        try:
+            specs = [
+                FaultSpec(
+                    kind=kind,
+                    rate_hz=fault_rate or 1.0,
+                    magnitude=0.5 if kind == "frame_truncation" else 1.0,
+                )
+                for kind in fault_kinds
+            ]
+            faults = FaultInjector(
+                specs, seed=seed, horizon_s=max(frames / 50.0, 1.0)
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    client = DeviceClient(
+        host,
+        port,
+        device_id=device_id,
+        payloads=synthetic_payloads(frames, samples_per_frame),
+        faults=faults,
+        drop_every=drop_every,
+        pace_s=pace_s,
+    )
+    try:
+        report = asyncio.run(client.run())
+    except GatewayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"device {report.device_id}: {report.frames_sent} frames "
+        f"({report.bytes_sent} B) in {report.payloads} payloads, "
+        f"{report.faults_injected} fault(s) injected, "
+        f"{report.reconnects} reconnect(s) "
+        f"({report.frames_replayed} frames replayed), "
+        f"{report.heartbeats_sent} heartbeat(s), "
+        f"{report.acks_received} ack(s), bye={report.bye_sent}"
     )
     return 0
 
@@ -557,6 +748,81 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", choices=["fast", "reference"], default="fast",
         help="modulator backend",
     )
+    gateway_parser = sub.add_parser(
+        "gateway",
+        help="serve the acquisition gateway (or --chaos N for the "
+        "fleet chaos audit)",
+    )
+    gateway_parser.add_argument(
+        "--port", type=int, default=9750, help="data port (0 = ephemeral)"
+    )
+    gateway_parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve the metrics JSON on this port",
+    )
+    gateway_parser.add_argument(
+        "--queue-chunks", type=int, default=64,
+        help="per-connection ingest queue bound [chunks]",
+    )
+    gateway_parser.add_argument(
+        "--chaos", type=int, default=None, metavar="N",
+        help="run the in-process chaos audit with N devices and exit",
+    )
+    gateway_parser.add_argument(
+        "--frames", type=int, default=120,
+        help="frames per chaos device",
+    )
+    gateway_parser.add_argument(
+        "--faulty-fraction", type=float, default=0.5,
+        help="fraction of chaos devices carrying link faults",
+    )
+    gateway_parser.add_argument(
+        "--seed", type=int, default=0, help="chaos fault-schedule seed"
+    )
+    gateway_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the chaos report JSON here",
+    )
+    device_parser = sub.add_parser(
+        "device", help="run one simulated device against a gateway"
+    )
+    device_parser.add_argument(
+        "--host", default="127.0.0.1", help="gateway host"
+    )
+    device_parser.add_argument(
+        "--port", type=int, default=9750, help="gateway data port"
+    )
+    device_parser.add_argument(
+        "--id", type=int, default=0, dest="device_id", help="device id"
+    )
+    device_parser.add_argument(
+        "--frames", type=int, default=200, help="frames to stream"
+    )
+    device_parser.add_argument(
+        "--samples-per-frame", type=int, default=64,
+        help="samples per frame",
+    )
+    device_parser.add_argument(
+        "--fault", action="append", default=None, dest="fault_kinds",
+        metavar="KIND",
+        help="inject a usb-layer fault process (repeatable): "
+        "frame_drop, frame_truncation, frame_bitflip, frame_reorder",
+    )
+    device_parser.add_argument(
+        "--fault-rate", type=float, default=1.0,
+        help="Poisson rate per fault process [Hz]",
+    )
+    device_parser.add_argument(
+        "--seed", type=int, default=0, help="fault-schedule seed"
+    )
+    device_parser.add_argument(
+        "--drop-every", type=int, default=None, metavar="N",
+        help="hard-drop and resume the connection every N payloads",
+    )
+    device_parser.add_argument(
+        "--pace", type=float, default=0.0,
+        help="sleep between payloads [s]",
+    )
     sub.add_parser("describe", help="print the paper-default configuration")
 
     args = parser.parse_args(argv)
@@ -593,6 +859,30 @@ def main(argv: list[str] | None = None) -> int:
             chunk_s=args.chunk,
             element=args.element,
             backend=args.backend,
+        )
+    if args.command == "gateway":
+        return cmd_gateway(
+            port=args.port,
+            metrics_port=args.metrics_port,
+            queue_chunks=args.queue_chunks,
+            chaos=args.chaos,
+            frames=args.frames,
+            faulty_fraction=args.faulty_fraction,
+            seed=args.seed,
+            json_path=args.json,
+        )
+    if args.command == "device":
+        return cmd_device(
+            host=args.host,
+            port=args.port,
+            device_id=args.device_id,
+            frames=args.frames,
+            samples_per_frame=args.samples_per_frame,
+            fault_kinds=args.fault_kinds,
+            fault_rate=args.fault_rate,
+            seed=args.seed,
+            drop_every=args.drop_every,
+            pace_s=args.pace,
         )
     if args.command == "describe":
         return cmd_describe()

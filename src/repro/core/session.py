@@ -79,6 +79,13 @@ class PipelineTelemetry:
     lost_frames: int = 0
     #: Frames rejected by CRC.
     crc_errors: int = 0
+    #: Late-arriving frames the decoder dropped as stale (their slot in
+    #: the stream was already counted lost — link reordering, replay
+    #: overlap on a resumed connection).
+    stale_frames: int = 0
+    #: Bytes the decoder discarded while re-hunting sync (garbage or
+    #: corrupt regions on the link).
+    resync_bytes: int = 0
     #: Decimated words delivered to the consumer.
     words_delivered: int = 0
     #: Fault events the session's injector has applied so far (0 when no
@@ -130,7 +137,11 @@ class PipelineTelemetry:
         """
         return self.frames_framed - self.frames_decoded - self.lost_frames
 
-    def reconcile(self, lossless: bool | None = None) -> None:
+    def reconcile(
+        self,
+        lossless: bool | None = None,
+        allow_unaccounted: bool | None = None,
+    ) -> None:
         """Assert the stage counters agree with each other.
 
         Raises :class:`~repro.errors.ConfigurationError` on any
@@ -138,7 +149,11 @@ class PipelineTelemetry:
         filtered, unsuppressed word arrived (``words_delivered ==
         words_filtered - words_suppressed`` and no lost/CRC-errored
         frames); ``None`` (default) applies it automatically when the
-        decoder saw no loss or corruption.
+        decoder saw no loss or corruption. ``allow_unaccounted=True``
+        relaxes strict frame conservation to ``frames_unaccounted >= 0``
+        for receivers that legitimately discard link bytes — injected
+        tail faults, or a gateway shedding a slow consumer's queue;
+        ``None`` (default) allows it exactly when faults were injected.
         """
         def require(ok: bool, what: str) -> None:
             if not ok:
@@ -158,10 +173,13 @@ class PipelineTelemetry:
                         "decimator residue must be less than one output word")
         require(self.words_suppressed <= self.words_filtered,
                 "cannot suppress more words than were filtered")
-        if self.faults_injected:
-            # An injected tail drop or truncation can leave frames that
-            # no later sequence number ever reports missing; they stay
-            # visible as frames_unaccounted instead.
+        if allow_unaccounted is None:
+            allow_unaccounted = self.faults_injected > 0
+        if allow_unaccounted:
+            # An injected tail drop or truncation (or a shed ingest
+            # chunk, on a gateway) can leave frames that no later
+            # sequence number ever reports missing; they stay visible
+            # as frames_unaccounted instead.
             require(self.frames_unaccounted >= 0,
                     "cannot decode or lose more frames than were framed")
         else:
@@ -171,7 +189,9 @@ class PipelineTelemetry:
             lossless = (
                 self.lost_frames == 0
                 and self.crc_errors == 0
+                and self.stale_frames == 0
                 and self.faults_injected == 0
+                and not allow_unaccounted
             )
         if lossless:
             require(
@@ -179,6 +199,43 @@ class PipelineTelemetry:
                 == self.words_filtered - self.words_suppressed,
                 "every filtered, unsuppressed word must be delivered",
             )
+
+    @classmethod
+    def aggregate(cls, parts: "list[PipelineTelemetry]") -> "PipelineTelemetry":
+        """Sum counters across sessions into one fleet-wide view.
+
+        Counters add, ``peak_chunk_bytes`` takes the maximum, and the
+        decimation factor carries over only when every part agrees. The
+        aggregate is a reporting view: the reconciliation identities are
+        per-session invariants (the filter-remainder identity in
+        particular does not survive summation), so reconcile the parts,
+        then aggregate.
+        """
+        total = cls()
+        factors = {p.decimation_factor for p in parts}
+        if len(factors) == 1:
+            total.decimation_factor = factors.pop()
+        for p in parts:
+            total.chunks += p.chunks
+            total.mod_samples_in += p.mod_samples_in
+            total.bits_out += p.bits_out
+            total.clipped_samples += p.clipped_samples
+            total.words_filtered += p.words_filtered
+            total.words_suppressed += p.words_suppressed
+            total.frames_framed += p.frames_framed
+            total.frames_decoded += p.frames_decoded
+            total.lost_frames += p.lost_frames
+            total.crc_errors += p.crc_errors
+            total.stale_frames += p.stale_frames
+            total.resync_bytes += p.resync_bytes
+            total.words_delivered += p.words_delivered
+            total.faults_injected += p.faults_injected
+            total.peak_chunk_bytes = max(
+                total.peak_chunk_bytes, p.peak_chunk_bytes
+            )
+            for stage in STAGES:
+                total.stage_seconds[stage] += p.stage_seconds[stage]
+        return total
 
     def throughput_msps(self) -> float:
         """Modulator samples per second of pipeline wall time, in MS/s."""
@@ -198,7 +255,7 @@ class PipelineTelemetry:
             f"{self.words_suppressed} suppressed",
             f"  framing           : {self.frames_framed} framed, "
             f"{self.frames_decoded} decoded, {self.lost_frames} lost, "
-            f"{self.crc_errors} CRC errors",
+            f"{self.crc_errors} CRC errors, {self.stale_frames} stale",
             f"  delivered         : {self.words_delivered} words",
         ]
         if self.faults_injected:
@@ -373,6 +430,8 @@ class AcquisitionSession:
         tm.frames_decoded = self._decoder.frames_decoded
         tm.lost_frames = self._decoder.lost_frames
         tm.crc_errors = self._decoder.crc_errors
+        tm.stale_frames = self._decoder.stale_frames
+        tm.resync_bytes = self._decoder.resync_bytes
 
         self._stream.ingest(frames)
         tm.add_stage_seconds("ingest", time.perf_counter() - t3)

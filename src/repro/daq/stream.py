@@ -64,6 +64,24 @@ class SampleStream:
         #: Lifetime ingest counters (telemetry).
         self.frames_ingested = 0
         self.samples_ingested = 0
+        #: Frames skipped because their sequence lies behind the
+        #: expectation (mod-2^16 half window) — late duplicates whose
+        #: slot was already recorded as a gap. Mirrors
+        #: :attr:`~repro.daq.usb.FrameDecoder.stale_frames` for callers
+        #: that ingest frames from other sources.
+        self.stale_frames = 0
+
+    def expect(self, sequence: int | None) -> None:
+        """Seed (or clear) the expected frame sequence number.
+
+        Mirrors :meth:`~repro.daq.usb.FrameDecoder.expect`: a receiver
+        that knows where a stream starts (e.g. a gateway after a fresh
+        HELLO) sets the expectation so a loss of the very first frames
+        is recorded as a gap instead of passing unnoticed.
+        """
+        if sequence is not None and not 0 <= sequence <= 0xFFFF:
+            raise ConfigurationError("expected sequence must fit u16")
+        self._expected_seq = sequence
 
     def ingest(self, frames: list[Frame]) -> None:
         """Append decoded frames to their element streams.
@@ -82,6 +100,12 @@ class SampleStream:
                 # Modular distance: a sequence rollover past 0xFFFF is a
                 # small gap, not a ~65k-frame loss.
                 lost = (frame.sequence - self._expected_seq) % 0x10000
+                if lost >= 0x8000:
+                    # Late duplicate of a frame already counted lost:
+                    # its stream slot is gone, so ingesting it would
+                    # scramble sample order. Skip it, counted.
+                    self.stale_frames += 1
+                    continue
                 self._gaps[frame.element].append(
                     StreamGap(
                         sample_index=self._counts[frame.element],

@@ -158,6 +158,35 @@ class FrameDecoder:
         self.frames_decoded = 0
         #: Bytes discarded while re-hunting sync after corruption.
         self.resync_bytes = 0
+        #: Valid frames dropped because their sequence number lies
+        #: *behind* the expected one (mod-2^16 half window): late
+        #: arrivals of frames already counted lost, e.g. link reordering
+        #: or a replay overlap. Their samples were already accounted as
+        #: a gap, so ingesting them would corrupt the stream order.
+        self.stale_frames = 0
+
+    @property
+    def expected_sequence(self) -> int | None:
+        """Sequence number the next in-order frame should carry.
+
+        ``None`` until the first valid frame arrives (or until
+        :meth:`expect` seeds it). ``expected_sequence - 1`` (mod 2^16)
+        is the highest in-order sequence acknowledged so far — what a
+        gateway reports back to a device for resume-on-reconnect.
+        """
+        return self._expected_seq
+
+    def expect(self, sequence: int | None) -> None:
+        """Seed (or clear) the expected sequence number.
+
+        Resume support: a receiver that knows where a restarted sender
+        will continue sets the expectation explicitly, so the first
+        frame after the restart is neither a spurious gap nor dropped
+        as stale.
+        """
+        if sequence is not None and not 0 <= sequence <= 0xFFFF:
+            raise ConfigurationError("expected sequence must fit u16")
+        self._expected_seq = sequence
 
     def feed(self, data: bytes) -> list[Frame]:
         """Consume bytes, return all frames completed by them.
@@ -168,8 +197,11 @@ class FrameDecoder:
         make decoding quadratic in the garbage length. After a CRC
         failure the cursor advances past the failed sync word and
         rescans byte-by-byte, so one corrupted frame never costs the
-        later frames in the same feed.
+        later frames in the same feed. An empty ``data`` is an exact
+        no-op: no rescan of retained bytes, no counter changes.
         """
+        if not data:
+            return []
         self._buffer += data
         return self._parse(final=False)
 
@@ -180,11 +212,13 @@ class FrameDecoder:
         bytes than its sender produced; :meth:`feed` keeps waiting for
         them and every later frame sits stranded in the buffer. Call
         this at end of stream (or end of acquisition) to abandon such
-        claims and recover the complete frames behind them. A no-op —
-        zero frames, zero counter changes — when the buffer holds no
-        stalled data, so clean pipelines are unaffected. Feeding may
-        resume afterwards.
+        claims and recover the complete frames behind them. Idempotent:
+        with nothing stalled (including any repeated call, or an empty
+        buffer) it returns zero frames and changes no counters, so
+        clean pipelines are unaffected. Feeding may resume afterwards.
         """
+        if not self._buffer:
+            return []
         return self._parse(final=True)
 
     def _parse(self, final: bool) -> list[Frame]:
@@ -232,7 +266,16 @@ class FrameDecoder:
             if self._expected_seq is not None and seq != self._expected_seq:
                 # Modular distance, so a rollover past 0xFFFF is a small
                 # gap rather than a ~65k-frame loss.
-                self.lost_frames += (seq - self._expected_seq) % 0x10000
+                distance = (seq - self._expected_seq) % 0x10000
+                if distance >= 0x8000:
+                    # Behind the expectation (mod-2^16 half window): a
+                    # late duplicate of a frame already counted lost
+                    # (link reordering, replay overlap). Its slot in the
+                    # stream is gone; drop it, counted, and keep the
+                    # expectation where it was.
+                    self.stale_frames += 1
+                    continue
+                self.lost_frames += distance
             self._expected_seq = (seq + 1) % 0x10000
             try:
                 frames.append(

@@ -62,6 +62,15 @@ class FramingError(ReproError, ValueError):
     """A DAQ/USB frame failed validation (bad sync word, CRC, or length)."""
 
 
+class GatewayError(ReproError, RuntimeError):
+    """A gateway/device link operation failed beyond recovery.
+
+    Raised when the retry budget of a device client is exhausted, a
+    handshake cannot be completed, or a gateway service is driven
+    outside its lifecycle (e.g. serving before :meth:`start`).
+    """
+
+
 class FixedPointOverflowError(ReproError, OverflowError):
     """A fixed-point operation overflowed with saturation disabled.
 

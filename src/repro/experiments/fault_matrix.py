@@ -76,6 +76,7 @@ _KIND_PROFILES: dict[str, dict[str, float]] = {
     "frame_drop": {"duration_s": 0.2, "magnitude": 1.0, "tol": 8.0},
     "frame_truncation": {"duration_s": 0.2, "magnitude": 0.5, "tol": 8.0},
     "frame_bitflip": {"duration_s": 0.2, "magnitude": 1.0, "tol": 8.0},
+    "frame_reorder": {"duration_s": 0.2, "magnitude": 1.0, "tol": 8.0},
 }
 
 #: Detection window slack around an event's scheduled word position:

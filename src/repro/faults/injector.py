@@ -157,8 +157,39 @@ class FaultInjector:
         self._word_pos = 0
         self._frame_pos = 0
         self._stiction_hold: dict[int, np.ndarray] = {}
+        self._reorder_pending = b""
         self.applied = []
         self._applied_ids = set()
+
+    def bind_link(self, frames_per_second: float) -> None:
+        """Resolve USB-layer events straight to frame indices — no chain.
+
+        Link-level binding for device-link chaos (the acquisition
+        gateway's wire): every spec must be a usb-layer kind, and an
+        event at ``start_s`` lands on frame ``int(start_s *
+        frames_per_second)``. The ``apply_payload`` hook then works on
+        raw framed payloads without a bound
+        :class:`~repro.core.chain.ReadoutChain`.
+        """
+        if frames_per_second <= 0:
+            raise ConfigurationError("frame rate must be positive")
+        offenders = sorted(
+            {spec.kind for spec in self.specs if spec.layer != "usb"}
+        )
+        if offenders:
+            raise ConfigurationError(
+                f"bind_link only supports usb-layer faults; got "
+                f"{', '.join(offenders)} (bind a chain for those)"
+            )
+        self._array_windows = []
+        self._sdm_windows = []
+        self._word_events = []
+        self._frame_events = {}
+        for event in self.events:
+            frame = int(event.start_s * frames_per_second)
+            self._frame_events.setdefault(frame, []).append(event)
+        self._bound = True
+        self.reset()
 
     def _require_bound(self) -> None:
         if not self._bound:
@@ -305,12 +336,27 @@ class FaultInjector:
             count = payload[pos + 5]
             total = 8 + 2 * count
             frame = payload[pos : pos + total]
+            hold = False
             for event in self._frame_events.get(self._frame_pos, ()):
+                if event.kind == "frame_reorder":
+                    hold = True
+                    self._mark_applied(event)
+                    continue
                 frame = self._mangle_frame(frame, event)
                 self._mark_applied(event)
                 if not frame:
                     break
-            out += frame
+            if hold and frame:
+                # Held back: delivered right after the next frame that
+                # goes out (possibly in a later payload). A held frame
+                # the stream never follows up on simply stays undelivered
+                # — tail loss, visible as an unaccounted frame.
+                self._reorder_pending += frame
+            else:
+                out += frame
+                if self._reorder_pending:
+                    out += self._reorder_pending
+                    self._reorder_pending = b""
             self._frame_pos += 1
             pos += total
         return bytes(out)

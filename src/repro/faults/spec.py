@@ -24,6 +24,8 @@ kind                      layer    effect / ``magnitude`` semantics
                                    bytes (a fraction in (0, 1); default 0.5)
 ``frame_bitflip``         usb      one bit of one frame byte flips (position
                                    drawn from the event's seeded detail)
+``frame_reorder``         usb      one frame is held back and delivered after
+                                   the frame that follows it (magnitude unused)
 ========================  =======  ============================================
 """
 
@@ -46,6 +48,7 @@ KIND_LAYERS: dict[str, str] = {
     "frame_drop": "usb",
     "frame_truncation": "usb",
     "frame_bitflip": "usb",
+    "frame_reorder": "usb",
 }
 
 #: All supported fault kinds, in pipeline order.

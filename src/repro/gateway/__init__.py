@@ -1,0 +1,53 @@
+"""Acquisition gateway: fault-tolerant multiplexing of device streams.
+
+The gateway is the host-side service between many concurrently
+streaming devices (each an FPGA + USB bridge speaking the
+:mod:`repro.daq.usb` frame format over TCP) and the analysis pipeline.
+Its contract is *graceful degradation*: overload sheds counted chunks
+instead of growing memory, silence walks a watchdog ramp instead of
+hanging, disconnects resume from the last acknowledged sequence instead
+of losing data, and every frame that does not make it into a decoded
+stream is visible in telemetry — nothing fails silently.
+"""
+
+from .backoff import ExponentialBackoff
+from .chaos import ChaosReport, run_chaos
+from .client import (
+    DeviceClient,
+    DeviceReport,
+    chain_payloads,
+    expected_codes,
+    synthetic_payloads,
+)
+from .connection import DeviceSession
+from .protocol import (
+    ControlDemux,
+    ControlEvent,
+    heartbeat,
+    pack_ack,
+    pack_bye,
+    pack_hello,
+)
+from .server import GatewayServer
+from .watchdog import ConnectionState, Watchdog
+
+__all__ = [
+    "ChaosReport",
+    "ConnectionState",
+    "ControlDemux",
+    "ControlEvent",
+    "DeviceClient",
+    "DeviceReport",
+    "DeviceSession",
+    "ExponentialBackoff",
+    "GatewayServer",
+    "Watchdog",
+    "chain_payloads",
+    "expected_codes",
+    "heartbeat",
+    "pack_ack",
+    "pack_bye",
+    "pack_hello",
+    "run_chaos",
+    "synthetic_payloads",
+]

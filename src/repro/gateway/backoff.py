@@ -1,0 +1,85 @@
+"""Retry pacing: exponential backoff with seeded jitter.
+
+Reconnect storms are a fleet problem: a gateway restart makes every
+device retry at once, and synchronized retries keep knocking the
+service over. The standard cure is exponential backoff with jitter —
+each failed attempt doubles the base delay up to a cap, and a random
+fraction is subtracted so devices decorrelate. The randomness comes
+from a seeded generator, so simulations stay reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Exponent cap: beyond this the un-jittered delay has long hit ``cap_s``
+#: for any sane configuration, and ``multiplier ** attempts`` would
+#: otherwise overflow to ``inf``.
+_MAX_EXPONENT = 63
+
+
+class ExponentialBackoff:
+    """Capped exponential retry delays with full-range seeded jitter.
+
+    Parameters
+    ----------
+    initial_s:
+        Delay before the first retry (before jitter).
+    multiplier:
+        Growth factor per attempt (>= 1).
+    cap_s:
+        Upper bound on the un-jittered delay.
+    jitter:
+        Fraction of the delay randomized away, in [0, 1]: the returned
+        delay is uniform in ``[(1 - jitter) * d, d]``. ``0`` is fully
+        deterministic; ``1`` is AWS-style "full jitter".
+    rng:
+        Seed or :class:`numpy.random.Generator` for the jitter draws.
+    """
+
+    def __init__(
+        self,
+        initial_s: float = 0.05,
+        multiplier: float = 2.0,
+        cap_s: float = 5.0,
+        jitter: float = 0.5,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if initial_s <= 0:
+            raise ConfigurationError("initial backoff must be positive")
+        if multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if cap_s < initial_s:
+            raise ConfigurationError("backoff cap must be >= initial delay")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter fraction must lie in [0, 1]")
+        self.initial_s = float(initial_s)
+        self.multiplier = float(multiplier)
+        self.cap_s = float(cap_s)
+        self.jitter = float(jitter)
+        self._rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        #: Consecutive failures since the last :meth:`reset`.
+        self.attempts = 0
+
+    def peek(self) -> float:
+        """The un-jittered delay the next :meth:`next_delay` draws from."""
+        exponent = min(self.attempts, _MAX_EXPONENT)
+        return min(self.initial_s * self.multiplier**exponent, self.cap_s)
+
+    def next_delay(self) -> float:
+        """Delay [s] to sleep before the next attempt; counts the failure."""
+        base = self.peek()
+        self.attempts += 1
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter * float(self._rng.uniform()))
+
+    def reset(self) -> None:
+        """A successful attempt: start the schedule over."""
+        self.attempts = 0

@@ -1,0 +1,442 @@
+"""The acquisition gateway: one asyncio service, many device streams.
+
+:class:`GatewayServer` accepts any number of concurrent TCP device
+connections speaking the gateway wire protocol
+(:mod:`repro.gateway.protocol`): a HELLO handshake, then USB-format
+data frames interleaved with DLE heartbeats, closed by a BYE. Each
+device id owns a :class:`~repro.gateway.connection.DeviceSession` that
+survives reconnects, so a device that loses its socket resumes from its
+last acknowledged sequence instead of losing data.
+
+Robustness structure:
+
+* **Isolation** — every connection has its own reader task, worker
+  task, decoder and bounded queue; a sick or slow connection degrades
+  only itself (its queue sheds, counted) while healthy connections run
+  untouched.
+* **Watchdog** — a single ticker walks every session's
+  :class:`~repro.gateway.watchdog.Watchdog`: DEGRADED connections are
+  probed with a DLE, RECONNECTING ones lose their socket but keep
+  state, DEAD ones are finalized (their telemetry stays visible).
+* **Telemetry** — :meth:`metrics` exposes per-connection and
+  fleet-wide counters; per-session
+  :meth:`~repro.gateway.connection.DeviceSession.reconcile` asserts the
+  conservation identities, and the fleet view is their
+  :meth:`~repro.core.session.PipelineTelemetry.aggregate`. An optional
+  side listener serves the same JSON to any TCP client (a
+  ``/metrics``-style scrape).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+from ..core.session import PipelineTelemetry
+from ..errors import GatewayError
+from .connection import DeviceSession
+from .protocol import ControlEvent, heartbeat, pack_ack
+from .watchdog import ConnectionState, Watchdog
+
+#: Socket read size; also the worker chunk granularity.
+_READ_CHUNK = 4096
+
+
+class GatewayServer:
+    """Fault-tolerant multiplexer for framed device streams.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    queue_chunks:
+        Per-connection ingest-queue bound (chunks of up to 4 KiB).
+    hello_timeout_s:
+        How long a fresh socket may dawdle before its HELLO.
+    watchdog_config:
+        ``(degraded_after_s, reconnecting_after_s, dead_after_s)`` for
+        every connection's watchdog.
+    tick_s:
+        Watchdog sweep period.
+    metrics_port:
+        When not ``None``, also listen there and serve the
+        :meth:`metrics` JSON to any connection (0 = ephemeral).
+    output_rate_hz:
+        Decimated word rate of the devices' streams.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_chunks: int = 64,
+        hello_timeout_s: float = 5.0,
+        watchdog_config: tuple[float, float, float] = (2.0, 5.0, 15.0),
+        tick_s: float = 0.25,
+        metrics_port: int | None = None,
+        output_rate_hz: float = 1000.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.queue_chunks = int(queue_chunks)
+        self.hello_timeout_s = float(hello_timeout_s)
+        self.watchdog_config = watchdog_config
+        self.tick_s = float(tick_s)
+        self.metrics_port = metrics_port
+        self.output_rate_hz = float(output_rate_hz)
+        self.sessions: dict[int, DeviceSession] = {}
+        #: Server-level counters.
+        self.connections_accepted = 0
+        self.handshake_failures = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._ticker: asyncio.Task | None = None
+        self._workers: dict[int, asyncio.Task] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the watchdog ticker; returns ``(host, port)``."""
+        if self._server is not None:
+            raise GatewayError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics, self.host, self.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
+        self._ticker = asyncio.create_task(self._tick())
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening, stop every task, finalize every session."""
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = self._metrics_server = None
+        if self._ticker is not None:
+            self._ticker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker
+            self._ticker = None
+        for writer in list(self._writers.values()):
+            writer.close()
+        # Workers drain what is queued, then exit on the None sentinel;
+        # a worker whose queue is too full to take the sentinel is
+        # cancelled instead (its backlog is already accounted as shed
+        # or surfaces as lost frames at finalize).
+        for device_id, task in list(self._workers.items()):
+            session = self.sessions.get(device_id)
+            try:
+                if session is not None:
+                    session.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._workers.clear()
+        self._writers.clear()
+        for session in self.sessions.values():
+            session.finalize()
+
+    async def drain(self, timeout_s: float = 5.0) -> bool:
+        """Wait until every ingest queue is empty (True) or time out."""
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while any(s.queue.qsize() for s in self.sessions.values()):
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        session: DeviceSession | None = None
+        try:
+            session = await self._handshake(reader, writer)
+            if session is None:
+                return
+            await self._pump(session, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # socket loss: the watchdog/resume path owns recovery
+        finally:
+            # Only the *current* connection may mark the session
+            # disconnected — a device can reconnect-and-resume before
+            # its old handler observes the EOF, and that stale handler
+            # must not downgrade the revived session.
+            if (
+                session is not None
+                and self._writers.get(session.device_id) is writer
+            ):
+                del self._writers[session.device_id]
+                if not session.bye_seen:
+                    session.watchdog.disconnected()
+            writer.close()
+            with contextlib.suppress(
+                ConnectionError, asyncio.IncompleteReadError, OSError
+            ):
+                await writer.wait_closed()
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> DeviceSession | None:
+        """Wait for HELLO, attach (or create) the device's session."""
+        probe = DeviceSession(  # throwaway demux until identity is known
+            device_id=0, output_rate_hz=self.output_rate_hz
+        )
+        hello: ControlEvent | None = None
+        pending = b""
+        deadline = asyncio.get_running_loop().time() + self.hello_timeout_s
+        while hello is None:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                self.handshake_failures += 1
+                return None
+            try:
+                data = await asyncio.wait_for(
+                    reader.read(_READ_CHUNK), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                self.handshake_failures += 1
+                return None
+            if not data:
+                self.handshake_failures += 1
+                return None
+            data_bytes, events = probe._demux.feed(data)
+            pending += data_bytes
+            for event in events:
+                if event.kind == "hello":
+                    hello = event
+                    break
+
+        session = self.sessions.get(hello.device_id)
+        if session is None or session.state is ConnectionState.DEAD:
+            # New device — or a dead one returning: its old state was
+            # closed out, so it starts a fresh stream either way.
+            session = DeviceSession(
+                device_id=hello.device_id,
+                queue_chunks=self.queue_chunks,
+                watchdog=Watchdog(*self.watchdog_config),
+                output_rate_hz=self.output_rate_hz,
+            )
+            self.sessions[hello.device_id] = session
+            self._workers[hello.device_id] = asyncio.create_task(
+                self._work(session)
+            )
+            if not hello.resume:
+                session.fresh_start()
+        elif hello.resume:
+            session.reconnects += 1
+            session.watchdog.revive()
+        else:
+            # Same id, fresh stream: the device restarted. Close the old
+            # books and start over in place.
+            session.finalize()
+            old_hook = session.frame_hook
+            session = DeviceSession(
+                device_id=hello.device_id,
+                queue_chunks=self.queue_chunks,
+                watchdog=Watchdog(*self.watchdog_config),
+                output_rate_hz=self.output_rate_hz,
+            )
+            session.frame_hook = old_hook
+            self.sessions[hello.device_id] = session
+            old_worker = self._workers.get(hello.device_id)
+            if old_worker is not None:
+                old_worker.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await old_worker
+            self._workers[hello.device_id] = asyncio.create_task(
+                self._work(session)
+            )
+            session.fresh_start()
+        session.connections += 1
+        self._writers[session.device_id] = writer
+        # The ACK completes the handshake: it tells a resuming device
+        # where to replay from (and a fresh one that we are listening).
+        await self._send_ack(session, writer)
+        # Bytes that followed HELLO in the same read belong to the
+        # session's stream.
+        if pending:
+            self._ingest(session, pending, writer)
+        # Any control messages the throwaway demux still holds split?
+        # Its buffer is part of `pending`'s continuation — hand it over.
+        tail = probe._demux.drain()
+        if tail:
+            self._ingest(session, tail, writer)
+        return session
+
+    def _ingest(
+        self,
+        session: DeviceSession,
+        data: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Reader-side: demux one read, act on control, queue the data."""
+        data_bytes, events = session.demux(data)
+        for event in events:
+            if event.kind == "heartbeat":
+                # DLE poll: answer with the cumulative ACK.
+                self._queue_ack(session, writer)
+            elif event.kind == "bye":
+                session.note_bye(event)
+            # Mid-stream HELLO/ACK frames are protocol noise; their
+            # bytes were already counted by the demux.
+        session.offer(data_bytes)
+
+    async def _pump(
+        self,
+        session: DeviceSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                break
+            self._ingest(session, data, writer)
+        if session.bye_seen:
+            # Clean close: drain what is queued, then close the books.
+            await self._drain_session(session)
+            session.finalize()
+
+    async def _work(self, session: DeviceSession) -> None:
+        """Per-session worker: the only consumer of the ingest queue."""
+        while True:
+            chunk = await session.queue.get()
+            if chunk is None:
+                break
+            session.decode(chunk)
+            # Yield so one hot connection cannot monopolize the loop.
+            await asyncio.sleep(0)
+
+    async def _drain_session(self, session: DeviceSession) -> None:
+        while session.queue.qsize():
+            await asyncio.sleep(0.001)
+
+    # -- control plane -------------------------------------------------------
+
+    async def _send_ack(
+        self, session: DeviceSession, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(pack_ack(session.last_acked))
+        session.acks_sent += 1
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.drain()
+
+    def _queue_ack(
+        self, session: DeviceSession, writer: asyncio.StreamWriter
+    ) -> None:
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(pack_ack(session.last_acked))
+            session.acks_sent += 1
+
+    async def _tick(self) -> None:
+        """The watchdog sweep: probe, abandon or bury silent sessions."""
+        while True:
+            await asyncio.sleep(self.tick_s)
+            for session in list(self.sessions.values()):
+                if session.finalized:
+                    continue
+                before = session.state
+                state = session.watchdog.check()
+                if state is before:
+                    continue
+                writer = self._writers.get(session.device_id)
+                if state is ConnectionState.DEGRADED and writer is not None:
+                    # Probe: a live device answers traffic with traffic.
+                    with contextlib.suppress(ConnectionError, OSError):
+                        writer.write(heartbeat())
+                elif state is ConnectionState.RECONNECTING:
+                    # Abandon the socket, keep the state for resume.
+                    if writer is not None:
+                        writer.close()
+                elif state is ConnectionState.DEAD:
+                    session.finalize()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def fleet_telemetry(self) -> PipelineTelemetry:
+        """Aggregate of every session's reconciled telemetry view."""
+        return PipelineTelemetry.aggregate(
+            [s.telemetry_view() for s in self.sessions.values()]
+        )
+
+    def reconcile(self) -> None:
+        """Assert every session's conservation identities."""
+        for session in self.sessions.values():
+            session.reconcile()
+
+    def metrics(self) -> dict:
+        """Per-connection and fleet-wide counters (the scrape payload)."""
+        connections = {
+            str(device_id): session.metrics()
+            for device_id, session in sorted(self.sessions.items())
+        }
+        fleet = self.fleet_telemetry()
+        states = [s.state for s in self.sessions.values()]
+        return {
+            "server": {
+                "connections_accepted": self.connections_accepted,
+                "handshake_failures": self.handshake_failures,
+                "sessions": len(self.sessions),
+                "healthy": sum(
+                    1 for s in states if s is ConnectionState.HEALTHY
+                ),
+                "degraded": sum(
+                    1 for s in states if s is ConnectionState.DEGRADED
+                ),
+                "reconnecting": sum(
+                    1 for s in states if s is ConnectionState.RECONNECTING
+                ),
+                "dead": sum(1 for s in states if s is ConnectionState.DEAD),
+            },
+            "fleet": {
+                "frames_framed": fleet.frames_framed,
+                "frames_decoded": fleet.frames_decoded,
+                "frames_lost": fleet.lost_frames,
+                "frames_stale": fleet.stale_frames,
+                "frames_unaccounted": fleet.frames_unaccounted,
+                "crc_errors": fleet.crc_errors,
+                "resync_bytes": fleet.resync_bytes,
+                "words_delivered": fleet.words_delivered,
+                "chunks_shed": sum(
+                    s.chunks_shed for s in self.sessions.values()
+                ),
+                "bytes_shed": sum(
+                    s.bytes_shed for s in self.sessions.values()
+                ),
+                "watchdog_trips": sum(
+                    s.watchdog.trips for s in self.sessions.values()
+                ),
+                "reconnects": sum(
+                    s.reconnects for s in self.sessions.values()
+                ),
+            },
+            "connections": connections,
+        }
+
+    async def _serve_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            writer.write(json.dumps(self.metrics()).encode() + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()

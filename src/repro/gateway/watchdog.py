@@ -1,0 +1,149 @@
+"""Connection liveness: the DLE/ACK watchdog state machine.
+
+Modelled on serial device protocols (the Vasoquant reader drops into a
+watchdog mode after ~5 s without its TST:CHECK poll): any traffic on a
+connection — data bytes or a bare DLE heartbeat — counts as a beat, and
+growing silence walks the connection down a one-way ramp::
+
+    HEALTHY --degraded_after_s--> DEGRADED --reconnecting_after_s-->
+        RECONNECTING --dead_after_s--> DEAD
+
+*DEGRADED* keeps the socket: the gateway probes with a DLE and fresh
+traffic recovers the connection to HEALTHY on its own. *RECONNECTING*
+abandons the socket but keeps all per-device state (decoder
+expectation, stream, telemetry) so the device can resume from its last
+acknowledged sequence. *DEAD* is terminal for the state machine; only
+an explicit :meth:`Watchdog.revive` (a completed resume handshake)
+restores a not-yet-dead connection to HEALTHY.
+
+The clock is injectable, so every transition is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+
+class ConnectionState(Enum):
+    """Liveness of one device connection."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    RECONNECTING = "reconnecting"
+    DEAD = "dead"
+
+
+#: Ramp order, for monotonicity checks.
+_RAMP = (
+    ConnectionState.HEALTHY,
+    ConnectionState.DEGRADED,
+    ConnectionState.RECONNECTING,
+    ConnectionState.DEAD,
+)
+
+
+class Watchdog:
+    """Silence-driven state machine for one device connection.
+
+    Parameters
+    ----------
+    degraded_after_s:
+        Silence after which a HEALTHY connection is DEGRADED (the
+        gateway starts probing with DLE).
+    reconnecting_after_s:
+        Silence after which the socket is abandoned (state kept).
+    dead_after_s:
+        Silence after which the connection is declared DEAD.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        degraded_after_s: float = 2.0,
+        reconnecting_after_s: float = 5.0,
+        dead_after_s: float = 15.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0 < degraded_after_s < reconnecting_after_s < dead_after_s:
+            raise ConfigurationError(
+                "watchdog thresholds must satisfy 0 < degraded < "
+                "reconnecting < dead"
+            )
+        self.degraded_after_s = float(degraded_after_s)
+        self.reconnecting_after_s = float(reconnecting_after_s)
+        self.dead_after_s = float(dead_after_s)
+        self._clock = clock
+        self._last_beat = clock()
+        self.state = ConnectionState.HEALTHY
+        #: HEALTHY -> DEGRADED transitions (the "watchdog tripped" count).
+        self.trips = 0
+        #: Recoveries back to HEALTHY (traffic resumed or resume handshake).
+        self.revivals = 0
+
+    @property
+    def silence_s(self) -> float:
+        """Seconds since the last beat."""
+        return self._clock() - self._last_beat
+
+    def beat(self) -> None:
+        """Any traffic arrived: refresh liveness.
+
+        A DEGRADED connection recovers to HEALTHY by itself — the
+        socket never went away. RECONNECTING and DEAD need the explicit
+        :meth:`revive` handshake (RECONNECTING has no socket to carry
+        the beat; a beat there means a stray late read).
+        """
+        self._last_beat = self._clock()
+        if self.state is ConnectionState.DEGRADED:
+            self.state = ConnectionState.HEALTHY
+            self.revivals += 1
+
+    def check(self) -> ConnectionState:
+        """Advance the state machine against the clock; return the state."""
+        if self.state is ConnectionState.DEAD:
+            return self.state
+        silence = self.silence_s
+        if silence >= self.dead_after_s:
+            target = ConnectionState.DEAD
+        elif silence >= self.reconnecting_after_s:
+            target = ConnectionState.RECONNECTING
+        elif silence >= self.degraded_after_s:
+            target = ConnectionState.DEGRADED
+        else:
+            target = ConnectionState.HEALTHY
+        # Silence only ever walks the ramp downward; recovery goes
+        # through beat()/revive() so it is always an accounted event.
+        if _RAMP.index(target) > _RAMP.index(self.state):
+            if (
+                self.state is ConnectionState.HEALTHY
+                and target is not ConnectionState.HEALTHY
+            ):
+                self.trips += 1
+            self.state = target
+        return self.state
+
+    def disconnected(self) -> None:
+        """The socket dropped out from under us: straight to RECONNECTING."""
+        if self.state in (
+            ConnectionState.HEALTHY,
+            ConnectionState.DEGRADED,
+        ):
+            if self.state is ConnectionState.HEALTHY:
+                self.trips += 1
+            self.state = ConnectionState.RECONNECTING
+
+    def revive(self) -> bool:
+        """A resume handshake completed; returns False if already DEAD."""
+        if self.state is ConnectionState.DEAD:
+            return False
+        if self.state is not ConnectionState.HEALTHY:
+            self.revivals += 1
+        self.state = ConnectionState.HEALTHY
+        self._last_beat = self._clock()
+        return True

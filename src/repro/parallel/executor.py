@@ -33,6 +33,7 @@ import math
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -73,6 +74,9 @@ class ExecutorTelemetry:
     cache_hits: int = 0
     #: Precompute-cache misses accumulated inside workers during the run.
     cache_misses: int = 0
+    #: Advisory notes about the run's configuration (e.g. a pool wider
+    #: than the machine). Never affect results or reconciliation.
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def workers_used(self) -> int:
@@ -168,6 +172,8 @@ class ExecutorTelemetry:
                 f"  t({worker:<12})  : "
                 f"{self.worker_seconds[worker] * 1e3:.1f} ms"
             )
+        for note in self.warnings:
+            lines.append(f"  warning           : {note}")
         return "\n".join(lines)
 
 
@@ -249,6 +255,18 @@ class ParallelExecutor:
             raise ConfigurationError("chunk size must be >= 1")
         self.jobs = int(jobs)
         self.chunk_size = chunk_size
+        # Oversubscription is legal (results stay bit-identical) but the
+        # workers time-slice the cores, so flag it once, loudly, instead
+        # of letting "why is jobs=32 slower than jobs=8" go undiagnosed.
+        cores = os.cpu_count() or 1
+        self._oversubscribed: str | None = None
+        if self.jobs > cores:
+            self._oversubscribed = (
+                f"jobs={self.jobs} exceeds the {cores} available CPU "
+                f"core(s); workers will time-slice and parallel "
+                f"efficiency will degrade"
+            )
+            warnings.warn(self._oversubscribed, RuntimeWarning, stacklevel=2)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else None
@@ -289,6 +307,8 @@ class ParallelExecutor:
         tasks = list(items)
         n = len(tasks)
         tm = ExecutorTelemetry(jobs=self.jobs)
+        if self._oversubscribed is not None:
+            tm.warnings.append(self._oversubscribed)
         self.telemetry = tm
         tm.tasks_submitted = n
         if n == 0:

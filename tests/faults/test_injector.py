@@ -265,6 +265,94 @@ class TestFrameLayer:
         assert injector.events_applied == 1
 
 
+class TestLinkBinding:
+    """bind_link: frame-indexed usb faults with no chain in sight."""
+
+    @staticmethod
+    def wire_sequences(payload):
+        """Frame sequence numbers in wire order (reorder-visible —
+        FrameDecoder would drop a late frame as stale)."""
+        from repro.gateway.protocol import frame_sequence, split_frames
+
+        return [frame_sequence(f) for f in split_frames(payload)]
+
+    def payload(self, n_frames=4, spf=8, encoder=None):
+        enc = encoder or FrameEncoder(samples_per_frame=spf)
+        start = enc.frames_emitted * spf
+        return enc.push(
+            np.arange(start, start + spf * n_frames, dtype=np.int16),
+            element=0,
+        )
+
+    def link_injector(self, kind, frame, fps=50.0, **kwargs):
+        # With bind_link an event at start_s lands on frame
+        # int(start_s * fps) — pick start_s dead-centre of the frame.
+        spec = FaultSpec(kind, start_s=(frame + 0.5) / fps, **kwargs)
+        injector = FaultInjector([spec], seed=0)
+        injector.bind_link(fps)
+        return injector
+
+    def test_event_lands_on_the_indexed_frame(self):
+        injector = self.link_injector("frame_drop", 2)
+        out = injector.apply_payload(self.payload())
+        frames = FrameDecoder().feed(out)
+        assert [f.sequence for f in frames] == [0, 1, 3]
+
+    def test_rejects_non_usb_specs(self):
+        injector = FaultInjector(
+            [FaultSpec("element_dropout", start_s=0.0)]
+        )
+        with pytest.raises(ConfigurationError):
+            injector.bind_link(50.0)
+
+    def test_rejects_nonpositive_frame_rate(self):
+        injector = FaultInjector([FaultSpec("frame_drop", start_s=0.0)])
+        with pytest.raises(ConfigurationError):
+            injector.bind_link(0.0)
+
+    def test_unbound_apply_still_raises(self):
+        injector = FaultInjector([FaultSpec("frame_drop", start_s=0.0)])
+        with pytest.raises(ConfigurationError):
+            injector.apply_payload(b"\x00")
+
+    def test_reorder_swaps_with_the_next_frame(self):
+        injector = self.link_injector("frame_reorder", 1)
+        out = injector.apply_payload(self.payload())
+        assert self.wire_sequences(out) == [0, 2, 1, 3]
+        assert injector.events_applied == 1
+        # The receiver books the swap as one lost gap + one stale late
+        # frame — counted, never silent.
+        decoder = FrameDecoder()
+        decoder.feed(out)
+        assert decoder.lost_frames == 1
+        assert decoder.stale_frames == 1
+
+    def test_reorder_holds_across_payload_boundary(self):
+        injector = self.link_injector("frame_reorder", 1)
+        enc = FrameEncoder(samples_per_frame=8)
+        first = injector.apply_payload(self.payload(2, encoder=enc))
+        # Frame 1 is held: only frame 0 went out.
+        assert self.wire_sequences(first) == [0]
+        second = injector.apply_payload(self.payload(2, encoder=enc))
+        # It rides out right behind the next transmitted frame.
+        assert self.wire_sequences(second) == [2, 1, 3]
+
+    def test_reorder_at_stream_tail_is_withheld(self):
+        injector = self.link_injector("frame_reorder", 3)
+        out = injector.apply_payload(self.payload(4))
+        # No follow-up frame ever flushes the held one: tail loss, which
+        # the receiver's conservation surfaces as an unaccounted frame.
+        assert self.wire_sequences(out) == [0, 1, 2]
+
+    def test_reset_clears_reorder_pending(self):
+        injector = self.link_injector("frame_reorder", 1)
+        injector.apply_payload(self.payload(2))
+        injector.reset()
+        out = injector.apply_payload(self.payload(4))
+        # The schedule replays from frame 0; nothing stale leaks in.
+        assert self.wire_sequences(out) == [0, 2, 1, 3]
+
+
 class TestAppliedLog:
     def test_applied_windows_report(self):
         injector = bound_injector(

@@ -1,0 +1,65 @@
+"""Exponential backoff: growth, cap, jitter window, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.backoff import ExponentialBackoff
+
+
+class TestSchedule:
+    def test_deterministic_doubling_without_jitter(self):
+        b = ExponentialBackoff(
+            initial_s=0.1, multiplier=2.0, cap_s=10.0, jitter=0.0
+        )
+        assert [b.next_delay() for _ in range(5)] == [
+            pytest.approx(d) for d in (0.1, 0.2, 0.4, 0.8, 1.6)
+        ]
+        assert b.attempts == 5
+
+    def test_cap(self):
+        b = ExponentialBackoff(
+            initial_s=1.0, multiplier=10.0, cap_s=5.0, jitter=0.0
+        )
+        b.next_delay()
+        assert b.next_delay() == pytest.approx(5.0)
+        assert b.peek() == pytest.approx(5.0)
+
+    def test_huge_attempt_count_does_not_overflow(self):
+        b = ExponentialBackoff(jitter=0.0)
+        b.attempts = 10_000
+        assert b.peek() == pytest.approx(b.cap_s)
+
+    def test_jitter_window(self):
+        b = ExponentialBackoff(
+            initial_s=1.0, multiplier=1.0, cap_s=1.0, jitter=0.5, rng=7
+        )
+        draws = [b.next_delay() for _ in range(200)]
+        assert all(0.5 <= d <= 1.0 for d in draws)
+        assert max(draws) - min(draws) > 0.1  # actually randomized
+
+    def test_seeded_jitter_reproducible(self):
+        a = ExponentialBackoff(rng=42)
+        b = ExponentialBackoff(rng=42)
+        assert [a.next_delay() for _ in range(6)] == [
+            b.next_delay() for _ in range(6)
+        ]
+
+    def test_reset(self):
+        b = ExponentialBackoff(initial_s=0.1, jitter=0.0)
+        b.next_delay()
+        b.next_delay()
+        b.reset()
+        assert b.attempts == 0
+        assert b.next_delay() == pytest.approx(0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(initial_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(initial_s=1.0, cap_s=0.5)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(jitter=1.5)

@@ -1,0 +1,254 @@
+"""Gateway end-to-end: real sockets, real reconnects, exact content.
+
+pytest-asyncio is not available here, so every test is a synchronous
+function that owns its event loop via ``asyncio.run`` — which doubles as
+a leak check: a dangling task would make loop close noisy/undead.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ReadoutChain
+from repro.errors import GatewayError
+from repro.gateway.client import (
+    DeviceClient,
+    chain_payloads,
+    expected_codes,
+    synthetic_payloads,
+)
+from repro.gateway.server import GatewayServer
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(body, **server_kw):
+    server = GatewayServer(**server_kw)
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+class TestSingleDevice:
+    def test_round_trip_is_bit_exact(self):
+        frames, spf = 40, 32
+
+        async def body(server):
+            client = DeviceClient(
+                server.host,
+                server.port,
+                device_id=7,
+                payloads=synthetic_payloads(frames, spf),
+            )
+            report = await client.run()
+            assert await server.drain()
+            return report
+
+        report = _run(_with_server(body))
+        assert report.frames_sent == frames
+        assert report.bye_sent
+        assert report.acks_received >= 1
+
+    def test_session_books_closed(self):
+        frames, spf = 24, 16
+
+        async def body(server):
+            client = DeviceClient(
+                server.host,
+                server.port,
+                device_id=3,
+                payloads=synthetic_payloads(frames, spf),
+            )
+            await client.run()
+            assert await server.drain()
+            session = server.sessions[3]
+            view = session.telemetry_view()
+            assert session.bye_seen
+            assert view.frames_framed == frames
+            assert view.frames_decoded == frames
+            assert view.lost_frames == 0
+            assert view.crc_errors == 0
+            assert view.frames_unaccounted == 0
+            server.reconcile()
+            got = session.codes(0)
+            assert np.array_equal(got, expected_codes(frames, spf))
+
+        _run(_with_server(body))
+
+    def test_many_devices_isolated_sessions(self):
+        ids = [11, 22, 33, 44]
+        frames, spf = 10, 8
+
+        async def body(server):
+            clients = [
+                DeviceClient(
+                    server.host,
+                    server.port,
+                    device_id=d,
+                    payloads=synthetic_payloads(frames, spf),
+                )
+                for d in ids
+            ]
+            await asyncio.gather(*(c.run() for c in clients))
+            assert await server.drain()
+            assert sorted(server.sessions) == ids
+            for d in ids:
+                view = server.sessions[d].telemetry_view()
+                assert view.frames_decoded == frames
+                assert view.frames_unaccounted == 0
+            fleet = server.fleet_telemetry()
+            assert fleet.frames_decoded == frames * len(ids)
+            server.reconcile()
+
+        _run(_with_server(body))
+
+
+class TestReconnectResume:
+    def test_forced_drops_lose_nothing(self):
+        frames, spf = 30, 16
+
+        async def body(server):
+            client = DeviceClient(
+                server.host,
+                server.port,
+                device_id=5,
+                payloads=synthetic_payloads(frames, spf),
+                drop_every=7,
+                heartbeat_s=0.02,
+            )
+            report = await client.run()
+            assert await server.drain()
+            assert report.forced_drops == 4
+            assert report.reconnects == 4
+            session = server.sessions[5]
+            view = session.telemetry_view()
+            # Replay-on-resume covers every un-acked frame, so the books
+            # close with zero loss; overlap lands as counted stale.
+            assert view.frames_decoded == frames
+            assert view.lost_frames == 0
+            assert view.frames_unaccounted == 0
+            assert session.reconnects == 4
+            assert np.array_equal(
+                session.codes(0), expected_codes(frames, spf)
+            )
+            server.reconcile()
+
+        _run(_with_server(body))
+
+    def test_fresh_hello_restarts_books(self):
+        spf = 8
+
+        async def body(server):
+            for _ in range(2):
+                client = DeviceClient(
+                    server.host,
+                    server.port,
+                    device_id=9,
+                    payloads=synthetic_payloads(5, spf),
+                )
+                await client.run()
+                assert await server.drain()
+            session = server.sessions[9]
+            # Second run replaced the books: 5 frames, not 10.
+            assert session.telemetry_view().frames_decoded == 5
+            server.reconcile()
+
+        _run(_with_server(body))
+
+
+class TestChainEquivalence:
+    def test_gateway_stream_matches_direct_chain(self):
+        """A fault-free gateway transit of a full physics-chain stream is
+        bit-identical to running the same chain directly."""
+        n = 128 * 30
+        t = np.arange(n) / 128000.0
+        field = 2500.0 + 600.0 * np.sin(2 * np.pi * 8.0 * t)[:, None]
+        field = np.repeat(field, 4, axis=1)
+
+        direct = ReadoutChain(
+            rng=np.random.default_rng(11), backend="fast"
+        ).record_pressure(field, element=2)
+
+        async def body(server):
+            chain = ReadoutChain(
+                rng=np.random.default_rng(11), backend="fast"
+            )
+            client = DeviceClient(
+                server.host,
+                server.port,
+                device_id=2,
+                payloads=chain_payloads(chain, field, element=2),
+            )
+            await client.run()
+            assert await server.drain()
+            return server.sessions[2].codes(2)
+
+        via_gateway = _run(_with_server(body))
+        assert np.array_equal(via_gateway, direct.codes)
+
+
+class TestFailureModes:
+    def test_unreachable_gateway_raises_after_budget(self):
+        async def body():
+            client = DeviceClient(
+                "127.0.0.1",
+                1,  # nothing listens on port 1
+                device_id=1,
+                payloads=synthetic_payloads(1),
+                max_retries=3,
+                backoff=None,
+            )
+            client.backoff.initial_s = 0.001
+            client.backoff.cap_s = 0.002
+            with pytest.raises(GatewayError):
+                await client.run()
+            assert client.report.retries == 2
+
+        _run(body())
+
+    def test_handshake_timeout_counts_failure(self):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            data = await reader.read(64)  # gateway hangs up on us
+            assert data == b""
+            writer.close()
+            await asyncio.sleep(0.01)
+            assert server.handshake_failures == 1
+            assert not server.sessions
+
+        _run(_with_server(body, hello_timeout_s=0.05))
+
+    def test_stop_is_clean_midstream(self):
+        async def body():
+            server = GatewayServer()
+            await server.start()
+            client = DeviceClient(
+                server.host,
+                server.port,
+                device_id=4,
+                payloads=synthetic_payloads(200, 64),
+                pace_s=0.001,
+                max_retries=2,
+            )
+            task = asyncio.create_task(client.run())
+            await asyncio.sleep(0.03)
+            await server.stop()
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, GatewayError, ConnectionError):
+                pass
+            # Whatever was decoded before the plug was pulled is still
+            # accounted; finalize() ran for every session.
+            for session in server.sessions.values():
+                assert session.finalized
+                session.reconcile()
+
+        _run(body())

@@ -1,0 +1,126 @@
+"""Watchdog state machine, driven by a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.watchdog import ConnectionState, Watchdog
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def dog(clock):
+    return Watchdog(
+        degraded_after_s=2.0,
+        reconnecting_after_s=5.0,
+        dead_after_s=15.0,
+        clock=clock,
+    )
+
+
+class TestRamp:
+    def test_silence_walks_the_full_ramp(self, dog, clock):
+        assert dog.check() is ConnectionState.HEALTHY
+        clock.t = 2.0
+        assert dog.check() is ConnectionState.DEGRADED
+        assert dog.trips == 1
+        clock.t = 5.0
+        assert dog.check() is ConnectionState.RECONNECTING
+        clock.t = 15.0
+        assert dog.check() is ConnectionState.DEAD
+
+    def test_ramp_is_one_way(self, dog, clock):
+        clock.t = 6.0
+        assert dog.check() is ConnectionState.RECONNECTING
+        # A stray late beat refreshes the clock but cannot un-abandon
+        # the socket; only revive() recovers from RECONNECTING.
+        dog.beat()
+        assert dog.check() is ConnectionState.RECONNECTING
+
+    def test_trips_counted_once_per_descent(self, dog, clock):
+        clock.t = 3.0
+        dog.check()
+        clock.t = 6.0
+        dog.check()  # deeper, same descent
+        assert dog.trips == 1
+
+    def test_skipping_straight_to_dead(self, dog, clock):
+        clock.t = 100.0
+        assert dog.check() is ConnectionState.DEAD
+        assert dog.trips == 1
+
+
+class TestRecovery:
+    def test_degraded_self_recovers_on_traffic(self, dog, clock):
+        clock.t = 3.0
+        assert dog.check() is ConnectionState.DEGRADED
+        dog.beat()
+        assert dog.state is ConnectionState.HEALTHY
+        assert dog.revivals == 1
+        clock.t = 4.0
+        assert dog.check() is ConnectionState.HEALTHY
+
+    def test_revive_from_reconnecting(self, dog, clock):
+        clock.t = 6.0
+        dog.check()
+        assert dog.revive() is True
+        assert dog.state is ConnectionState.HEALTHY
+        assert dog.revivals == 1
+        clock.t = 7.0
+        assert dog.check() is ConnectionState.HEALTHY  # clock refreshed
+
+    def test_dead_is_terminal(self, dog, clock):
+        clock.t = 20.0
+        dog.check()
+        assert dog.revive() is False
+        dog.beat()
+        assert dog.state is ConnectionState.DEAD
+        assert dog.check() is ConnectionState.DEAD
+
+    def test_silence_property(self, dog, clock):
+        clock.t = 1.5
+        assert dog.silence_s == pytest.approx(1.5)
+        dog.beat()
+        clock.t = 2.0
+        assert dog.silence_s == pytest.approx(0.5)
+
+
+class TestDisconnected:
+    def test_disconnect_goes_straight_to_reconnecting(self, dog):
+        dog.disconnected()
+        assert dog.state is ConnectionState.RECONNECTING
+        assert dog.trips == 1
+
+    def test_disconnect_from_degraded_keeps_trip_count(self, dog, clock):
+        clock.t = 3.0
+        dog.check()
+        dog.disconnected()
+        assert dog.state is ConnectionState.RECONNECTING
+        assert dog.trips == 1  # the descent was already counted
+
+    def test_disconnect_after_dead_is_noop(self, dog, clock):
+        clock.t = 20.0
+        dog.check()
+        dog.disconnected()
+        assert dog.state is ConnectionState.DEAD
+
+
+class TestValidation:
+    def test_threshold_ordering_enforced(self, clock):
+        with pytest.raises(ConfigurationError):
+            Watchdog(5.0, 2.0, 15.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            Watchdog(0.0, 2.0, 15.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            Watchdog(2.0, 5.0, 4.0, clock=clock)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 import pytest
@@ -152,3 +153,46 @@ class TestTelemetry:
         assert "ExecutorTelemetry" in text
         assert "precompute cache" in text
         assert "pid-" in text
+
+
+class TestOversubscription:
+    """jobs > cores is legal but loudly flagged, once, everywhere."""
+
+    def test_warns_once_at_construction(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="exceeds the 1 available"):
+            ex = ParallelExecutor(jobs=2, chunk_size=2)
+        # map() itself stays quiet — the construction warning is the one
+        # interruption; telemetry carries it from then on.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = ex.map(_square, range(4))
+        assert results == [0, 1, 4, 9]
+
+    def test_warning_lands_in_telemetry_and_describe(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning):
+            ex = ParallelExecutor(jobs=2, chunk_size=2)
+        ex.map(_square, range(4))
+        tm = ex.telemetry
+        assert len(tm.warnings) == 1
+        assert "jobs=2 exceeds" in tm.warnings[0]
+        assert "time-slice" in tm.warnings[0]
+        text = tm.describe()
+        assert "warning" in text
+        tm.reconcile()  # the flag never unbalances the books
+
+    def test_no_warning_within_budget(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ex = ParallelExecutor(jobs=2, chunk_size=2)
+        ex.map(_square, range(4))
+        assert ex.telemetry.warnings == []
+
+    def test_cpu_count_unknown_assumes_one_core(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.executor.os.cpu_count", lambda: None
+        )
+        with pytest.warns(RuntimeWarning, match="the 1 available"):
+            ParallelExecutor(jobs=4)

@@ -71,6 +71,107 @@ class TestFramingRoundTrip:
                 assert np.array_equal(f.samples, expected)
 
 
+class TestGarbageResync:
+    """Corruption accounting: nothing the link mangles goes missing
+    silently. ``lost_frames + frames_unaccounted`` must equal the
+    number of corrupted frames exactly, for any corruption pattern."""
+
+    def _frames(self, n_frames, spf=8):
+        enc = FrameEncoder(samples_per_frame=spf)
+        # Sample values in [0, 100]: no payload byte can be 0xA5, so a
+        # corrupted region can never fabricate a plausible sync word.
+        codes = (np.arange(n_frames * spf) % 101).astype(np.int16)
+        payload = enc.push(codes, 0)
+        size = 8 + 2 * spf
+        return [payload[i : i + size] for i in range(0, len(payload), size)]
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_corrupted_frames_exactly_accounted(self, n_frames, data):
+        frames = self._frames(n_frames)
+        corrupt = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_frames - 1),
+                min_size=1,
+                max_size=n_frames,
+            )
+        )
+        wire = bytearray()
+        for k, frame in enumerate(frames):
+            if k in corrupt:
+                # Zero a mid-frame byte (never creating 0xA5): the CRC
+                # must reject the frame and the scan must resync.
+                broken = bytearray(frame)
+                pos = 4 + (k % (len(frame) - 6))
+                broken[pos] = 0x00 if broken[pos] != 0x00 else 0x01
+                wire += broken
+            else:
+                wire += frame
+        dec = FrameDecoder()
+        dec.expect(0)
+        decoded = dec.feed(bytes(wire))
+        decoded += dec.finalize()
+
+        assert dec.frames_decoded == n_frames - len(corrupt)
+        unaccounted = n_frames - dec.frames_decoded - dec.lost_frames
+        # Every corrupted frame is either a counted sequence gap or —
+        # when nothing followed it — a conservation shortfall.
+        assert dec.lost_frames + unaccounted == len(corrupt)
+        # The unaccounted remainder is exactly the trailing corrupted
+        # run (no later sequence number exists to reveal it).
+        trailing = 0
+        for k in range(n_frames - 1, -1, -1):
+            if k not in corrupt:
+                break
+            trailing += 1
+        assert unaccounted == trailing
+        # Surviving frames carry genuine content at genuine positions.
+        for f in decoded:
+            assert f.sequence not in corrupt
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(
+            st.binary(min_size=1, max_size=40).map(
+                lambda b: bytes(x for x in b if x != 0xA5)
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=1, max_value=2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_garbage_always_resyncs(
+        self, n_frames, garbage_runs, seed
+    ):
+        """Garbage *between* intact frames never costs a frame, for any
+        garbage content (sans sync bytes) and any chunking."""
+        frames = self._frames(n_frames)
+        rng = np.random.default_rng(seed)
+        wire = bytearray()
+        runs = list(garbage_runs)
+        for frame in frames:
+            if runs and rng.integers(0, 2):
+                wire += runs.pop()
+            wire += frame
+        wire += b"".join(runs)
+
+        dec = FrameDecoder()
+        decoded = []
+        i = 0
+        while i < len(wire):
+            step = int(rng.integers(1, 17))
+            decoded += dec.feed(bytes(wire[i : i + step]))
+            i += step
+        decoded += dec.finalize()
+        assert len(decoded) == n_frames
+        assert dec.lost_frames == 0
+        assert [f.sequence for f in decoded] == list(range(n_frames))
+
+
 class TestStreamProperties:
     @given(
         st.lists(
