@@ -62,6 +62,12 @@ def _sweep(run, fingerprint) -> tuple[dict, dict]:
             ),
             "cache_hit_rate": result.telemetry.cache_hit_rate(),
             "workers_used": result.telemetry.workers_used,
+            # The executor clamps to the core budget by default; record
+            # both sides so the report shows when (and how) it kicked in.
+            "jobs_requested": result.telemetry.jobs_requested,
+            "jobs_effective": result.telemetry.jobs,
+            "clamped": result.telemetry.jobs
+            < (result.telemetry.jobs_requested or result.telemetry.jobs),
         }
         if jobs == 1:
             reference = fingerprint(result)

@@ -1,0 +1,34 @@
+"""Batched multi-session fast path: one pass over many concurrent chains.
+
+The single-session pipeline converts one subject x element at a time;
+its per-stage Python seams (modulator -> CIC -> FIR -> quantize ->
+frame -> decode) cost more than the arithmetic once the modulator loop
+is compiled. This package adds a *leading batch axis* over whole readout
+chains and fuses the full chip->sigma-delta->CIC->FIR->decode cascade
+into one compiled pass (:mod:`repro.batch.kernel`), so one core
+processes hundreds of concurrent 1 kS/s sessions.
+
+Layering:
+
+* :mod:`repro.batch.kernel` — the fused C kernel (modulator recurrence,
+  Hogenauer CIC, polyphase FIR, 12-bit quantizer) plus a bit-exact
+  pure-Python fallback, both operating on ``B`` lanes per sample.
+* :mod:`repro.batch.engine` — :class:`BatchChainEngine`, which adapts a
+  list of :class:`~repro.core.chain.ReadoutChain` objects to the kernel:
+  state lives *in the chains* between calls, so any chunk split, and any
+  mix of batched and single-session processing, is bit-identical.
+* :mod:`repro.batch.session` — :class:`BatchAcquisitionSession`, the
+  batched sibling of :class:`~repro.core.session.AcquisitionSession`
+  with per-lane :class:`~repro.core.session.PipelineTelemetry` that
+  still reconciles exactly.
+"""
+
+from .engine import BatchChainEngine
+from .kernel import batch_kernel_available
+from .session import BatchAcquisitionSession
+
+__all__ = [
+    "BatchAcquisitionSession",
+    "BatchChainEngine",
+    "batch_kernel_available",
+]

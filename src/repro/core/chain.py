@@ -97,7 +97,10 @@ class ReadoutChain:
     def _collect(self, payload: bytes, element: int) -> ChainRecording:
         decoder = FrameDecoder()
         frames = decoder.feed(payload) + decoder.finalize()
-        stream = SampleStream(sample_rate_hz=self.output_rate_hz)
+        stream = SampleStream(
+            sample_rate_hz=self.output_rate_hz,
+            samples_per_frame=self.fpga.encoder.samples_per_frame,
+        )
         stream.ingest(frames)
         codes = stream.samples(element).astype(np.int64)
         return ChainRecording(

@@ -326,7 +326,10 @@ class AcquisitionSession:
             chain.fpga.select_element(element)
         self.element = chain.chip.selected_element
         self._decoder = FrameDecoder()
-        self._stream = SampleStream(sample_rate_hz=chain.output_rate_hz)
+        self._stream = SampleStream(
+            sample_rate_hz=chain.output_rate_hz,
+            samples_per_frame=chain.fpga.encoder.samples_per_frame,
+        )
         self.telemetry = PipelineTelemetry(
             decimation_factor=chain.fpga.filter.params.total_decimation
         )
@@ -340,6 +343,21 @@ class AcquisitionSession:
             self._prev_word_hook = chain.fpga.word_hook
             chain.chip.loop_input_hook = faults.apply_loop_input
             chain.fpga.word_hook = faults.apply_words
+
+    @classmethod
+    def batched(cls, chains, **kwargs):
+        """Open a batched session over ``chains`` (one lane per chain).
+
+        The batched mode advances every lane in lockstep through the
+        fused chip->sigma-delta->CIC->FIR->decode kernel of
+        :mod:`repro.batch`; per-lane codes and telemetry are
+        bit-identical to ``len(chains)`` independent single sessions.
+        Keyword arguments are forwarded to
+        :class:`~repro.batch.session.BatchAcquisitionSession`.
+        """
+        from ..batch import BatchAcquisitionSession
+
+        return BatchAcquisitionSession(chains, **kwargs)
 
     # -- feeding -----------------------------------------------------------
 

@@ -33,9 +33,11 @@ class StreamGap:
     lost_frames:
         Number of frames the sequence numbers say went missing.
     lost_samples:
-        Estimated missing sample count: lost frames times the payload
-        size of the frame that followed the gap (frames in a stream are
-        fixed-size except the final flush, so this is exact in practice).
+        Missing sample count: lost frames times the stream's configured
+        ``samples_per_frame`` when known. Without that configuration it
+        falls back to the payload size of the frame that *followed* the
+        gap — an undercount when the follower is the final (short)
+        flush frame of a chunk.
     """
 
     sample_index: int
@@ -51,12 +53,26 @@ class SampleStream:
     sample_rate_hz:
         Rate of the decimated words (1 kS/s for the paper chain), used to
         timestamp samples.
+    samples_per_frame:
+        Nominal payload size of the link's full frames (the encoder's
+        ``samples_per_frame``). When set, a k-frame sequence gap is
+        booked as exactly ``k * samples_per_frame`` lost samples — the
+        lost frames were full frames. When ``None`` the stream estimates
+        from the frame that followed the gap, which undercounts whenever
+        a loss lands immediately before a chunk's short flush frame.
     """
 
-    def __init__(self, sample_rate_hz: float = 1000.0):
+    def __init__(
+        self,
+        sample_rate_hz: float = 1000.0,
+        samples_per_frame: int | None = None,
+    ):
         if sample_rate_hz <= 0:
             raise ConfigurationError("sample rate must be positive")
+        if samples_per_frame is not None and samples_per_frame < 1:
+            raise ConfigurationError("samples_per_frame must be >= 1")
         self.sample_rate_hz = float(sample_rate_hz)
+        self.samples_per_frame = samples_per_frame
         self._chunks: dict[int, list[np.ndarray]] = defaultdict(list)
         self._counts: dict[int, int] = defaultdict(int)
         self._gaps: dict[int, list[StreamGap]] = defaultdict(list)
@@ -106,11 +122,12 @@ class SampleStream:
                     # scramble sample order. Skip it, counted.
                     self.stale_frames += 1
                     continue
+                per_frame = self.samples_per_frame or frame.samples.size
                 self._gaps[frame.element].append(
                     StreamGap(
                         sample_index=self._counts[frame.element],
                         lost_frames=lost,
-                        lost_samples=lost * frame.samples.size,
+                        lost_samples=lost * per_frame,
                     )
                 )
             self._expected_seq = (frame.sequence + 1) % 0x10000

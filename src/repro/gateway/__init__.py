@@ -15,6 +15,7 @@ from .chaos import ChaosReport, run_chaos
 from .client import (
     DeviceClient,
     DeviceReport,
+    batch_chain_payloads,
     chain_payloads,
     expected_codes,
     synthetic_payloads,
@@ -42,6 +43,7 @@ __all__ = [
     "ExponentialBackoff",
     "GatewayServer",
     "Watchdog",
+    "batch_chain_payloads",
     "chain_payloads",
     "expected_codes",
     "heartbeat",

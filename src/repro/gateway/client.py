@@ -115,6 +115,51 @@ def chain_payloads(
         yield tail
 
 
+def batch_chain_payloads(
+    chains, fields, element: int = 0, chunk: int = 4096
+) -> list[list[bytes]]:
+    """Per-device framed payload lists for a whole fleet, in one pass.
+
+    The fleet-scale sibling of :func:`chain_payloads`: runs ``B``
+    chains' pressure fields through one
+    :class:`~repro.batch.session.BatchAcquisitionSession` (the fused
+    batch kernel) and frames each lane's delivered words with that
+    lane's own :class:`~repro.daq.usb.FrameEncoder`. The concatenated
+    bytes per device are bit-identical to ``B`` independent
+    :func:`chain_payloads` runs — same words, same element tags, same
+    sequence numbers — at batched throughput, so a many-device gateway
+    scenario no longer pays ``B`` single-chain simulations.
+
+    Returns one payload list per chain, in chain order; feed each list
+    to its own :class:`DeviceClient`.
+    """
+    from ..batch import BatchAcquisitionSession
+
+    fields = [np.asarray(f, dtype=float) for f in fields]
+    if len(fields) != len(chains):
+        raise ConfigurationError(
+            f"need one pressure field per chain, got {len(fields)} "
+            f"field(s) for {len(chains)} chain(s)"
+        )
+    session = BatchAcquisitionSession(chains, element=element)
+    payload_lists: list[list[bytes]] = [[] for _ in chains]
+    n = fields[0].shape[0]
+    for start in range(0, n, chunk):
+        delivered = session.feed_pressure(
+            [f[start : start + chunk] for f in fields]
+        )
+        for lane, c in enumerate(chains):
+            payload = c.fpga.encoder.push(delivered[lane], element)
+            if payload:
+                payload_lists[lane].append(payload)
+    session.finish()
+    for lane, c in enumerate(chains):
+        tail = c.fpga.encoder.flush()
+        if tail:
+            payload_lists[lane].append(tail)
+    return payload_lists
+
+
 # -- the client --------------------------------------------------------------
 
 

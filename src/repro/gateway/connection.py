@@ -53,6 +53,11 @@ class DeviceSession:
         Liveness state machine (injectable for tests).
     output_rate_hz:
         Decimated word rate, for stream timestamps.
+    samples_per_frame:
+        Nominal full-frame payload size of the device link, forwarded
+        to the :class:`~repro.daq.stream.SampleStream` so frame-loss
+        gaps are booked as full frames even when the surviving frame
+        after the loss is a chunk's short flush frame.
     clock:
         Monotonic time source for latency stamps.
     """
@@ -63,6 +68,7 @@ class DeviceSession:
         queue_chunks: int = 64,
         watchdog: Watchdog | None = None,
         output_rate_hz: float = 1000.0,
+        samples_per_frame: int | None = None,
         clock=time.monotonic,
     ):
         if queue_chunks < 1:
@@ -71,7 +77,10 @@ class DeviceSession:
         self._clock = clock
         self._demux = ControlDemux()
         self.decoder = FrameDecoder()
-        self.stream = SampleStream(sample_rate_hz=output_rate_hz)
+        self.stream = SampleStream(
+            sample_rate_hz=output_rate_hz,
+            samples_per_frame=samples_per_frame,
+        )
         self.watchdog = watchdog or Watchdog()
         self.telemetry = PipelineTelemetry()
         self.queue: asyncio.Queue[bytes | None] = asyncio.Queue(

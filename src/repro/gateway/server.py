@@ -65,6 +65,11 @@ class GatewayServer:
         :meth:`metrics` JSON to any connection (0 = ephemeral).
     output_rate_hz:
         Decimated word rate of the devices' streams.
+    samples_per_frame:
+        Nominal full-frame payload size of the device links (the
+        encoders' ``samples_per_frame``), so frame-loss gaps are booked
+        as full frames even across chunk flush boundaries. ``None``
+        keeps the legacy follower-size estimate.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class GatewayServer:
         tick_s: float = 0.25,
         metrics_port: int | None = None,
         output_rate_hz: float = 1000.0,
+        samples_per_frame: int | None = None,
     ):
         self.host = host
         self.port = int(port)
@@ -86,6 +92,7 @@ class GatewayServer:
         self.tick_s = float(tick_s)
         self.metrics_port = metrics_port
         self.output_rate_hz = float(output_rate_hz)
+        self.samples_per_frame = samples_per_frame
         self.sessions: dict[int, DeviceSession] = {}
         #: Server-level counters.
         self.connections_accepted = 0
@@ -230,6 +237,7 @@ class GatewayServer:
                 queue_chunks=self.queue_chunks,
                 watchdog=Watchdog(*self.watchdog_config),
                 output_rate_hz=self.output_rate_hz,
+                samples_per_frame=self.samples_per_frame,
             )
             self.sessions[hello.device_id] = session
             self._workers[hello.device_id] = asyncio.create_task(
@@ -250,6 +258,7 @@ class GatewayServer:
                 queue_chunks=self.queue_chunks,
                 watchdog=Watchdog(*self.watchdog_config),
                 output_rate_hz=self.output_rate_hz,
+                samples_per_frame=self.samples_per_frame,
             )
             session.frame_hook = old_hook
             self.sessions[hello.device_id] = session

@@ -26,6 +26,7 @@ which the executor folds into its telemetry.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 from ..errors import ConfigurationError
@@ -38,19 +39,34 @@ class PrecomputeCache:
     each process sees its own instance); a racy double-compute would be
     benign anyway because cached values are deterministic functions of
     their keys.
+
+    Parameters
+    ----------
+    maxsize:
+        Optional entry bound. When set, the cache evicts its least
+        recently *used* entry after an insert overflows the bound, and
+        counts the eviction. ``None`` (default, and the process-global
+        instance's mode) never evicts: the built-in users cache a
+        handful of param-keyed designs whose lifetime is the process.
     """
 
-    def __init__(self) -> None:
-        self._store: dict[Hashable, Any] = {}
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ConfigurationError("cache maxsize must be >= 1")
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on miss.
 
         ``factory`` runs only on a miss and must return a value that is
         a pure function of the key (same key, same value — the executor's
-        determinism contract relies on it).
+        determinism contract relies on it). A raising factory leaves the
+        cache untouched — no miss is counted and nothing is stored — so
+        a retried ``get`` behaves exactly like a first attempt.
         """
         try:
             value = self._store[key]
@@ -59,11 +75,20 @@ class PrecomputeCache:
                 f"precompute cache keys must be hashable, got {key!r}"
             ) from exc
         except KeyError:
-            self.misses += 1
             value = factory()
+            # Counted and stored only after the factory succeeded: an
+            # exception must not book a miss for work that never
+            # produced a value (telemetry would double-count retries)
+            # nor poison the store.
+            self.misses += 1
             self._store[key] = value
+            if self.maxsize is not None and len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self.evictions += 1
             return value
         self.hits += 1
+        if self.maxsize is not None:
+            self._store.move_to_end(key)
         return value
 
     def stats(self) -> tuple[int, int]:
@@ -74,6 +99,7 @@ class PrecomputeCache:
         """Zero the counters without dropping cached entries."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def clear(self) -> None:
         """Drop every entry and zero the counters."""

@@ -52,8 +52,11 @@ _CHUNKS_PER_WORKER = 4
 class ExecutorTelemetry:
     """Counters and timings of one :meth:`ParallelExecutor.map` run."""
 
-    #: Worker-pool width the executor was configured with.
+    #: Worker-pool width the executor actually ran with (post-clamp).
     jobs: int = 1
+    #: Worker count the caller asked for (0 = unrecorded; equals
+    #: ``jobs`` unless the executor clamped to the core budget).
+    jobs_requested: int = 0
     #: Tasks per dispatched chunk (the last chunk may be smaller).
     chunk_size: int = 0
     #: Tasks handed to :meth:`ParallelExecutor.map`.
@@ -114,6 +117,11 @@ class ExecutorTelemetry:
                 )
 
         require(self.jobs >= 1, "executor must have at least one worker")
+        if self.jobs_requested:
+            require(
+                self.jobs_requested >= self.jobs,
+                "clamping can only lower the worker count",
+            )
         require(
             self.tasks_completed == self.tasks_submitted,
             "every submitted task must complete exactly once",
@@ -152,10 +160,15 @@ class ExecutorTelemetry:
 
     def describe(self) -> str:
         """Human-readable summary (the CLI's post-run footer)."""
+        clamped = (
+            f", clamped from {self.jobs_requested}"
+            if self.jobs_requested and self.jobs_requested != self.jobs
+            else ""
+        )
         lines = [
             "ExecutorTelemetry",
             f"  jobs              : {self.jobs} "
-            f"({self.workers_used} worker(s) used)",
+            f"({self.workers_used} worker(s) used{clamped})",
             f"  tasks             : {self.tasks_completed}/"
             f"{self.tasks_submitted} in {self.chunks_completed} chunk(s) "
             f"of <= {self.chunk_size}",
@@ -222,6 +235,26 @@ def _run_chunk(
     )
 
 
+class _BatchTask:
+    """Picklable adapter: one scheduled task = one batch of items.
+
+    Module-level class (not a closure) so it pickles under every start
+    method. Seeds travel inside the payload, pre-spawned per *item*
+    index by :meth:`ParallelExecutor.map_batches`, so the grouping into
+    batches never touches any item's random stream.
+    """
+
+    def __init__(self, fn: Callable[..., Any], seeded: bool):
+        self.fn = fn
+        self.seeded = seeded
+
+    def __call__(self, payload: tuple[list[Any], list[Any]]) -> list[Any]:
+        batch_items, batch_seeds = payload
+        if self.seeded:
+            return self.fn(batch_items, batch_seeds)
+        return self.fn(batch_items)
+
+
 class ParallelExecutor:
     """Deterministic fan-out of independent tasks over a process pool.
 
@@ -241,6 +274,14 @@ class ParallelExecutor:
         available (workers inherit warm caches and the compiled
         modulator kernel for free) and the platform default elsewhere.
         Results do not depend on it.
+    force_jobs:
+        Escape hatch: run with exactly ``jobs`` workers even beyond the
+        machine's core count. By default the executor clamps the
+        effective pool to ``min(jobs, cpu_count)`` — oversubscribed
+        workers only time-slice the same cores at a net slowdown, and
+        results are bit-identical for any worker count anyway. The
+        clamp (or the forced oversubscription) is recorded in
+        :class:`ExecutorTelemetry`.
     """
 
     def __init__(
@@ -248,31 +289,47 @@ class ParallelExecutor:
         jobs: int = 1,
         chunk_size: int | None = None,
         start_method: str | None = None,
+        force_jobs: bool = False,
     ):
         if jobs < 1:
             raise ConfigurationError("executor needs at least one job")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk size must be >= 1")
+        self.jobs_requested = int(jobs)
         self.jobs = int(jobs)
+        self.force_jobs = bool(force_jobs)
         self.chunk_size = chunk_size
-        # Oversubscription is legal (results stay bit-identical) but the
-        # workers time-slice the cores, so flag it once, loudly, instead
-        # of letting "why is jobs=32 slower than jobs=8" go undiagnosed.
+        # Oversubscription never changes results (seeds are fixed per
+        # task index) but the extra workers only time-slice the same
+        # cores at a net slowdown, so clamp to the core budget by
+        # default and flag it once, loudly, instead of letting "why is
+        # jobs=32 slower than jobs=8" go undiagnosed. force_jobs=True
+        # keeps the requested width for scheduling studies.
         cores = os.cpu_count() or 1
         self._oversubscribed: str | None = None
         if self.jobs > cores:
-            self._oversubscribed = (
-                f"jobs={self.jobs} exceeds the {cores} available CPU "
-                f"core(s); workers will time-slice and parallel "
-                f"efficiency will degrade"
-            )
+            if self.force_jobs:
+                self._oversubscribed = (
+                    f"jobs={self.jobs} exceeds the {cores} available CPU "
+                    f"core(s); workers will time-slice and parallel "
+                    f"efficiency will degrade"
+                )
+            else:
+                self.jobs = cores
+                self._oversubscribed = (
+                    f"jobs={self.jobs_requested} exceeds the {cores} "
+                    f"available CPU core(s); clamped to {self.jobs} "
+                    f"worker(s) — pass force_jobs=True to oversubscribe"
+                )
             warnings.warn(self._oversubscribed, RuntimeWarning, stacklevel=2)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else None
         self.start_method = start_method
         #: Telemetry of the most recent :meth:`map` call.
-        self.telemetry = ExecutorTelemetry(jobs=self.jobs)
+        self.telemetry = ExecutorTelemetry(
+            jobs=self.jobs, jobs_requested=self.jobs_requested
+        )
 
     # -- scheduling --------------------------------------------------------
 
@@ -306,7 +363,9 @@ class ParallelExecutor:
         """
         tasks = list(items)
         n = len(tasks)
-        tm = ExecutorTelemetry(jobs=self.jobs)
+        tm = ExecutorTelemetry(
+            jobs=self.jobs, jobs_requested=self.jobs_requested
+        )
         if self._oversubscribed is not None:
             tm.warnings.append(self._oversubscribed)
         self.telemetry = tm
@@ -364,3 +423,52 @@ class ParallelExecutor:
                 tm.tasks_completed += 1
         tm.reconcile()
         return slots
+
+    def map_batches(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        seed: int | np.random.SeedSequence | None = None,
+        batch_size: int | None = None,
+    ) -> list[Any]:
+        """Run ``fn`` over *batches* of items; return per-item results.
+
+        The batched analogue of :meth:`map`, built for batch-capable
+        task functions (e.g. one :class:`~repro.batch.session.\
+        BatchAcquisitionSession` over a worker's whole slice of
+        subjects, instead of one chain per task). ``fn`` must be a
+        module-level callable invoked as ``fn(batch_items)`` — or
+        ``fn(batch_items, batch_seeds)`` when ``seed`` is given — and
+        must return one result per item, in batch order.
+
+        Child seeds are spawned per *item* index before any batching,
+        so results are independent of ``batch_size``, ``jobs`` and
+        completion order — the same discipline :meth:`map` enforces per
+        task. Telemetry (in :attr:`telemetry`) accounts at batch
+        granularity: one batch = one task.
+        """
+        tasks = list(items)
+        n = len(tasks)
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        if batch_size is None:
+            batch_size = max(
+                1, math.ceil(n / (self.jobs * _CHUNKS_PER_WORKER))
+            )
+        seeds = self._spawn_seeds(seed, n)
+        payloads = [
+            (tasks[lo : lo + batch_size], list(seeds[lo : lo + batch_size]))
+            for lo in range(0, n, batch_size)
+        ]
+        batch_results = self.map(_BatchTask(fn, seed is not None), payloads)
+        results: list[Any] = []
+        for (batch_items, _), out in zip(payloads, batch_results):
+            out = list(out)
+            if len(out) != len(batch_items):
+                raise ConfigurationError(
+                    f"batch task returned {len(out)} result(s) for "
+                    f"{len(batch_items)} item(s); map_batches requires "
+                    f"one result per item"
+                )
+            results.extend(out)
+        return results

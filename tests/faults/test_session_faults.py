@@ -86,6 +86,30 @@ class TestFaultedSessions:
         gap = session.stream.gaps(1)[0].sample_index
         assert not rec.quality[gap : gap + 8].any()
 
+    def test_boundary_frame_drop_counts_full_frame_lost(self):
+        """A frame dropped right before the stream's short flush frame
+        must be booked at the link's full frame size. The old estimate
+        used the payload size of the frame *after* the gap — here the
+        finish() flush frame — undercounting the loss and breaking
+        sample conservation at chunk boundaries."""
+        spec = FaultSpec("frame_drop", start_s=0.4)
+        chain, session, rec = self.faulted_record(spec)
+        spf = chain.fpga.encoder.samples_per_frame
+        tm = session.telemetry
+        tm.reconcile()
+        assert tm.lost_frames == 1
+        [gap] = session.stream.gaps(1)
+        # The dropped frame was a full frame even though its follower
+        # (the final flush) is shorter.
+        assert gap.lost_frames == 1
+        assert gap.lost_samples == spf
+        assert rec.lost_samples == spf
+        # Sample conservation closes exactly with the corrected count.
+        assert (
+            tm.words_delivered + rec.lost_samples
+            == tm.words_filtered - tm.words_suppressed
+        )
+
     def test_tail_frame_drop_caught_by_frame_accounting(self):
         """Dropping the final (flush) frame leaves no later sequence
         number to reveal the gap — only the framed-vs-decoded telemetry

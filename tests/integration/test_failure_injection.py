@@ -74,13 +74,17 @@ class TestTransportFaults:
 
     def test_lost_samples_surface_in_recording(self):
         """A dropped frame shows up as per-element ``lost_samples`` on the
-        ChainRecording, not just as a decoder-level frame count."""
+        ChainRecording, not just as a decoder-level frame count. The loss
+        is booked at the link's configured frame size, so the payload
+        here is framed at the chain's own ``samples_per_frame``."""
         chain = ReadoutChain(SystemParams(), rng=np.random.default_rng(4))
-        payload = self._frames()
-        cut = payload[: 40 * 3] + payload[40 * 4 :]
+        spf = chain.fpga.encoder.samples_per_frame
+        payload = self._frames(n_codes=5 * spf, spf=spf)
+        frame_bytes = 6 + 2 * spf + 2
+        cut = payload[: frame_bytes * 3] + payload[frame_bytes * 4 :]
         rec = chain._collect(cut, element=0)
         assert rec.lost_frames == 1
-        assert rec.lost_samples == 16
+        assert rec.lost_samples == spf
 
     def test_stream_totals_lost_samples_across_elements(self):
         enc = FrameEncoder(samples_per_frame=8)

@@ -56,6 +56,62 @@ class TestPrecomputeCache:
     def test_global_instance_is_stable(self):
         assert precompute_cache() is precompute_cache()
 
+    def test_raising_factory_counts_nothing_and_stores_nothing(self):
+        cache = PrecomputeCache()
+
+        def bad_factory():
+            raise ValueError("transient setup failure")
+
+        with pytest.raises(ValueError, match="transient"):
+            cache.get(("k",), bad_factory)
+        # No phantom miss, no poisoned entry: the retry is a clean slate.
+        assert cache.stats() == (0, 0)
+        assert len(cache) == 0
+        assert ("k",) not in cache
+        assert cache.get(("k",), lambda: 42) == 42
+        assert cache.stats() == (0, 1)
+
+
+class TestBoundedCache:
+    def test_maxsize_evicts_least_recently_used(self):
+        cache = PrecomputeCache(maxsize=2)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.get(("a",), lambda: 0)  # touch "a": "b" is now the LRU
+        cache.get(("c",), lambda: 3)  # evicts "b"
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert ("c",) in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_evicted_entry_recomputes(self):
+        cache = PrecomputeCache(maxsize=1)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        assert cache.get(("a",), lambda: 11) == 11
+        assert cache.evictions == 2
+        assert cache.stats() == (0, 3)
+
+    def test_unbounded_never_evicts(self):
+        cache = PrecomputeCache()
+        for i in range(100):
+            cache.get(("k", i), lambda i=i: i)
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ConfigurationError, match="maxsize"):
+            PrecomputeCache(maxsize=0)
+
+    def test_reset_stats_zeroes_evictions(self):
+        cache = PrecomputeCache(maxsize=1)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.reset_stats()
+        assert cache.evictions == 0
+        assert cache.stats() == (0, 0)
+
 
 class TestFIRDesignSharing:
     def test_two_chains_share_identical_tap_arrays(self):

@@ -29,17 +29,40 @@ def _boom(x):
     raise ValueError(f"task {x} exploded")
 
 
+def _square_batch(items):
+    return [x * x for x in items]
+
+
+def _seeded_batch(items, seeds):
+    return [_seeded_draw(x, s) for x, s in zip(items, seeds)]
+
+
+def _short_batch(items):
+    return [x * x for x in items[:-1]]
+
+
+def _pool(jobs, **kwargs):
+    """A real pool of ``jobs`` workers, silencing the clamp warning.
+
+    Several tests need actual worker processes regardless of how many
+    cores the test box exposes; force_jobs is exactly that escape hatch.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return ParallelExecutor(jobs=jobs, force_jobs=True, **kwargs)
+
+
 class TestScheduling:
     def test_results_in_submission_order(self):
         ex = ParallelExecutor(jobs=1)
         assert ex.map(_square, range(10)) == [x * x for x in range(10)]
 
     def test_order_preserved_with_pool(self):
-        ex = ParallelExecutor(jobs=3, chunk_size=1)
+        ex = _pool(3, chunk_size=1)
         assert ex.map(_square, range(10)) == [x * x for x in range(10)]
 
     def test_empty_items(self):
-        ex = ParallelExecutor(jobs=2)
+        ex = _pool(2)
         assert ex.map(_square, []) == []
         assert ex.telemetry.tasks_submitted == 0
         ex.telemetry.reconcile()
@@ -50,7 +73,7 @@ class TestScheduling:
         assert set(pids) == {os.getpid()}
 
     def test_pool_uses_other_processes(self):
-        ex = ParallelExecutor(jobs=2, chunk_size=1)
+        ex = _pool(2, chunk_size=1)
         pids = ex.map(_pid_of, range(4))
         assert os.getpid() not in pids
 
@@ -66,7 +89,7 @@ class TestScheduling:
             ex.map(_boom, range(3))
 
     def test_task_error_propagates_from_pool(self):
-        ex = ParallelExecutor(jobs=2)
+        ex = _pool(2)
         with pytest.raises(ValueError, match="exploded"):
             ex.map(_boom, range(3))
 
@@ -77,7 +100,7 @@ class TestSeedDiscipline:
             _seeded_draw, range(12), seed=99
         )
         for jobs, chunk in ((2, None), (3, 1), (4, 5)):
-            ex = ParallelExecutor(jobs=jobs, chunk_size=chunk)
+            ex = _pool(jobs, chunk_size=chunk)
             assert ex.map(_seeded_draw, range(12), seed=99) == reference
 
     def test_seed_changes_results(self):
@@ -105,7 +128,7 @@ class TestSeedDiscipline:
 
 class TestTelemetry:
     def test_counters_reconcile(self):
-        ex = ParallelExecutor(jobs=2, chunk_size=3)
+        ex = _pool(2, chunk_size=3)
         ex.map(_square, range(10))
         tm = ex.telemetry
         tm.reconcile()
@@ -115,7 +138,7 @@ class TestTelemetry:
         assert tm.wall_seconds > 0.0
 
     def test_auto_chunking_covers_all_tasks(self):
-        ex = ParallelExecutor(jobs=2)
+        ex = _pool(2)
         ex.map(_square, range(17))
         ex.telemetry.reconcile()
         assert ex.telemetry.tasks_completed == 17
@@ -155,13 +178,15 @@ class TestTelemetry:
         assert "pid-" in text
 
 
-class TestOversubscription:
-    """jobs > cores is legal but loudly flagged, once, everywhere."""
+class TestCoreClamp:
+    """jobs > cores clamps to the core budget unless force_jobs=True."""
 
-    def test_warns_once_at_construction(self, monkeypatch):
+    def test_clamps_and_warns_once_at_construction(self, monkeypatch):
         monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
         with pytest.warns(RuntimeWarning, match="exceeds the 1 available"):
             ex = ParallelExecutor(jobs=2, chunk_size=2)
+        assert ex.jobs == 1
+        assert ex.jobs_requested == 2
         # map() itself stays quiet — the construction warning is the one
         # interruption; telemetry carries it from then on.
         with warnings.catch_warnings():
@@ -169,24 +194,42 @@ class TestOversubscription:
             results = ex.map(_square, range(4))
         assert results == [0, 1, 4, 9]
 
-    def test_warning_lands_in_telemetry_and_describe(self, monkeypatch):
+    def test_clamp_lands_in_telemetry_and_describe(self, monkeypatch):
         monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
         with pytest.warns(RuntimeWarning):
             ex = ParallelExecutor(jobs=2, chunk_size=2)
         ex.map(_square, range(4))
         tm = ex.telemetry
+        assert tm.jobs == 1
+        assert tm.jobs_requested == 2
         assert len(tm.warnings) == 1
         assert "jobs=2 exceeds" in tm.warnings[0]
-        assert "time-slice" in tm.warnings[0]
+        assert "force_jobs=True" in tm.warnings[0]
         text = tm.describe()
         assert "warning" in text
-        tm.reconcile()  # the flag never unbalances the books
+        assert "clamped from 2" in text
+        tm.reconcile()  # the clamp never unbalances the books
+
+    def test_force_jobs_keeps_width_and_flags_timeslicing(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="time-slice"):
+            ex = ParallelExecutor(jobs=2, chunk_size=2, force_jobs=True)
+        assert ex.jobs == 2
+        assert ex.jobs_requested == 2
+        ex.map(_square, range(4))
+        tm = ex.telemetry
+        assert tm.jobs == 2
+        assert "time-slice" in tm.warnings[0]
+        tm.reconcile()
 
     def test_no_warning_within_budget(self, monkeypatch):
         monkeypatch.setattr("repro.parallel.executor.os.cpu_count", lambda: 8)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             ex = ParallelExecutor(jobs=2, chunk_size=2)
+        assert ex.jobs == 2
         ex.map(_square, range(4))
         assert ex.telemetry.warnings == []
 
@@ -195,4 +238,51 @@ class TestOversubscription:
             "repro.parallel.executor.os.cpu_count", lambda: None
         )
         with pytest.warns(RuntimeWarning, match="the 1 available"):
-            ParallelExecutor(jobs=4)
+            ex = ParallelExecutor(jobs=4)
+        assert ex.jobs == 1
+
+    def test_reconcile_rejects_raised_clamp(self):
+        tm = ExecutorTelemetry(jobs=4, jobs_requested=2)
+        with pytest.raises(ConfigurationError, match="lower the worker"):
+            tm.reconcile()
+
+
+class TestBatchDispatch:
+    """map_batches: batched tasks, per-item seeds, per-item results."""
+
+    def test_matches_map_results(self):
+        ex = ParallelExecutor(jobs=1)
+        want = ex.map(_square, range(11))
+        assert ex.map_batches(_square_batch, range(11), batch_size=3) == want
+
+    def test_seeds_are_per_item_not_per_batch(self):
+        reference = ParallelExecutor(jobs=1).map(
+            _seeded_draw, range(10), seed=42
+        )
+        for jobs, batch in ((1, 1), (1, 4), (2, 3), (3, 10)):
+            ex = _pool(jobs) if jobs > 1 else ParallelExecutor(jobs=1)
+            got = ex.map_batches(
+                _seeded_batch, range(10), seed=42, batch_size=batch
+            )
+            assert got == reference
+
+    def test_auto_batch_size(self):
+        ex = ParallelExecutor(jobs=1)
+        assert ex.map_batches(_square_batch, range(7)) == [
+            x * x for x in range(7)
+        ]
+        ex.telemetry.reconcile()
+
+    def test_empty_items(self):
+        ex = ParallelExecutor(jobs=1)
+        assert ex.map_batches(_square_batch, []) == []
+
+    def test_result_count_mismatch_rejected(self):
+        ex = ParallelExecutor(jobs=1)
+        with pytest.raises(ConfigurationError, match="one result per item"):
+            ex.map_batches(_short_batch, range(6), batch_size=3)
+
+    def test_invalid_batch_size(self):
+        ex = ParallelExecutor(jobs=1)
+        with pytest.raises(ConfigurationError, match="batch size"):
+            ex.map_batches(_square_batch, range(4), batch_size=0)
