@@ -54,7 +54,20 @@ class BatchChainEngine:
     """
 
     def __init__(self, chains, force_python: bool = False):
-        chains = list(chains)
+        self._force_python = bool(force_python)
+        self._configure(list(chains))
+
+    def _configure(self, chains) -> None:
+        """(Re)build every per-lane constant for ``chains``.
+
+        Called by ``__init__`` and by the dynamic lane operations
+        (:meth:`attach_lane` / :meth:`detach_lane`): all per-lane
+        coefficient vectors, masks and the padded batch geometry are
+        derived from the chain objects alone, so membership changes are
+        a pure rebuild. Staging buffers are dropped because lane
+        *indices* shift — a stale noise row from a previous occupant
+        must never be read by its new one.
+        """
         if not chains:
             raise ConfigurationError("batch needs at least one chain")
         if len({id(c) for c in chains}) != len(chains):
@@ -82,7 +95,6 @@ class BatchChainEngine:
                     "(CIC/FIR geometry and quantized coefficients)"
                 )
         self._filter = ref
-        self._force_python = bool(force_python)
 
         # Constant per-lane modulator coefficient vectors, padded to the
         # kernel's lane-block multiple with inert lanes (zero gains).
@@ -175,6 +187,53 @@ class BatchChainEngine:
     def deterministic_lanes(self) -> np.ndarray:
         """Mask of lanes with no stochastic terms (read-only view)."""
         return self._det
+
+    # -- dynamic lane membership -------------------------------------------
+
+    def attach_lane(self, chain) -> int:
+        """Join ``chain`` as a new lane at a chunk boundary.
+
+        The chain's cascade state is whatever it is — a freshly built
+        chain or one that has been running solo — but its decimation
+        *phases* must match the batch's, because the fused kernel
+        advances all lanes in lockstep (a fresh chain therefore joins
+        when the batch sits at a decimation boundary). Returns the new
+        lane's index; subsequent chunks advance it bit-identically to
+        the solo path, exactly like the founding lanes.
+        """
+        if any(chain is c for c in self.chains):
+            raise ConfigurationError("chain is already a lane of this batch")
+        ref = self.chains[0].fpga.filter
+        filt = chain.fpga.filter
+        if (
+            filt.cic._phase != ref.cic._phase
+            or filt.fir._phase != ref.fir._phase
+        ):
+            raise ConfigurationError(
+                "joining lane must match the batch's decimation phase; "
+                "attach at a shared decimation boundary"
+            )
+        self._configure(self.chains + [chain])
+        return len(self.chains) - 1
+
+    def detach_lane(self, lane: int):
+        """Remove one lane at a chunk boundary; returns its chain.
+
+        The chain objects are the single source of truth for cascade
+        state, so the detached chain resumes single-session processing
+        bit-exactly — and may later :meth:`attach_lane` again.
+        """
+        if not 0 <= lane < len(self.chains):
+            raise ConfigurationError(f"no lane {lane} in this batch")
+        if len(self.chains) == 1:
+            raise ConfigurationError(
+                "cannot detach the last lane; a batch needs at least one"
+            )
+        chain = self.chains[lane]
+        self._configure(
+            [c for i, c in enumerate(self.chains) if i != lane]
+        )
+        return chain
 
     # -- staging buffers ---------------------------------------------------
 

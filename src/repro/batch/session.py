@@ -400,6 +400,81 @@ class BatchAcquisitionSession:
             tm.add_stage_seconds("fpga", fpga_dt)
         return delivered
 
+    # -- dynamic lane membership -------------------------------------------
+
+    def attach_lane(self, chain) -> int:
+        """Join a device's chain as a new lane mid-session.
+
+        The gateway-facing lifecycle: devices connect while the fleet
+        is already streaming. The chain joins at the current chunk
+        boundary (its decimation phases must match the batch's — a
+        fresh chain joins while the batch sits at a decimation
+        boundary, see :meth:`BatchChainEngine.attach_lane`) and gets
+        its own telemetry, code buffer and synthesized frame counters,
+        exactly as a founding lane would. Returns the new lane index.
+        """
+        if self._finished:
+            raise ConfigurationError(
+                "session already finished; start a new "
+                "BatchAcquisitionSession"
+            )
+        if chain.fpga.encoder.pending_samples:
+            raise ConfigurationError(
+                "chain has a partial USB frame pending; finish the "
+                "previous session before batching"
+            )
+        lane = self.engine.attach_lane(chain)
+        self.chains = self.engine.chains
+        self.elements.append(chain.chip.selected_element)
+        self.telemetries.append(
+            PipelineTelemetry(
+                decimation_factor=chain.fpga.filter.params.total_decimation
+            )
+        )
+        self._codes.append([])
+        self._pending.append(0)
+        self._spf.append(chain.fpga.encoder.samples_per_frame)
+        self._fast_front = self._build_fast_front()
+        return lane
+
+    def detach_lane(self, lane: int):
+        """Drop one lane mid-session; returns ``(chain, recording)``.
+
+        The device disconnected: its chain leaves the batch at the
+        current chunk boundary and can keep running solo (or rejoin
+        later) bit-exactly. The returned recording closes the lane's
+        books — the final partial frame is counted exactly as
+        :meth:`finish` would have.
+        """
+        chain = self.engine.detach_lane(lane)
+        self.chains = self.engine.chains
+        tm = self.telemetries.pop(lane)
+        if self._pending[lane]:
+            tm.frames_framed += 1
+            tm.frames_decoded += 1
+        self._pending.pop(lane)
+        self._spf.pop(lane)
+        element = self.elements.pop(lane)
+        chunks = self._codes.pop(lane)
+        codes = (
+            np.concatenate(chunks).astype(np.int64)
+            if chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._fast_front = self._build_fast_front()
+        recording = ChainRecording(
+            codes=codes,
+            sample_rate_hz=chain.output_rate_hz,
+            element=element,
+            lost_frames=0,
+            crc_errors=0,
+            lost_samples=0,
+            quality=quality_mask(
+                codes, gaps=[], config=self._quality_config
+            ),
+        )
+        return chain, recording
+
     # -- completion --------------------------------------------------------
 
     def finish(self) -> None:

@@ -585,15 +585,21 @@ def cmd_gateway(
     faulty_fraction: float = 0.5,
     seed: int = 0,
     json_path: str | None = None,
+    decode_plane: str = "batch",
+    flush_bytes: int = 64 * 1024,
+    max_latency_ms: float = 2.0,
+    telemetry: bool = False,
 ) -> int:
     """Serve the acquisition gateway — or audit it at fleet scale.
 
     Without ``--chaos``, binds the gateway and runs until SIGINT/SIGTERM,
-    then prints the fleet metrics JSON. With ``--chaos N``, spins up N
-    in-process simulated devices (half with independent seeded link
-    faults and forced reconnects), audits every connection for silent
-    corruption / unbounded memory / leaked tasks, prints the report and
-    exits nonzero on any violation — the CI smoke gate.
+    then prints the fleet metrics JSON; ``--telemetry`` additionally
+    streams a one-line batch-plane summary (tick rate, occupancy,
+    deadline-flush fraction) to stderr while serving. With ``--chaos N``,
+    spins up N in-process simulated devices (half with independent
+    seeded link faults and forced reconnects), audits every connection
+    for silent corruption / unbounded memory / leaked tasks, prints the
+    report and exits nonzero on any violation — the CI smoke gate.
     """
     import asyncio
     import json
@@ -612,6 +618,7 @@ def cmd_gateway(
                 faulty_fraction=faulty_fraction,
                 seed=seed,
                 queue_chunks=queue_chunks,
+                decode_plane=decode_plane,
             )
         )
         payload = json.dumps(report.as_dict(), indent=2)
@@ -626,6 +633,9 @@ def cmd_gateway(
             port=port,
             metrics_port=metrics_port,
             queue_chunks=queue_chunks,
+            decode_plane=decode_plane,
+            flush_bytes=flush_bytes,
+            max_latency_s=max_latency_ms / 1e3,
         )
         host, bound = await server.start()
         note = f"gateway listening on {host}:{bound}"
@@ -636,7 +646,30 @@ def cmd_gateway(
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
+
+        async def report_telemetry() -> None:
+            while True:
+                await asyncio.sleep(2.0)
+                if server.plane is None:
+                    continue
+                m = server.plane.metrics()
+                print(
+                    f"batch-plane: lanes {m['lanes']}  "
+                    f"ticks {m['ticks']} ({m['tick_rate_hz']:.1f}/s)  "
+                    f"occupancy {m['occupancy_mean']:.1f} mean / "
+                    f"{m['occupancy_max']} max  "
+                    f"deadline-flush {m['deadline_flush_fraction']:.0%}  "
+                    f"frames {m['frames_decoded']}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        reporter = (
+            asyncio.create_task(report_telemetry()) if telemetry else None
+        )
         await stop.wait()
+        if reporter is not None:
+            reporter.cancel()
         await server.stop()
         server.reconcile()
         return server.metrics()
@@ -879,6 +912,23 @@ def main(argv: list[str] | None = None) -> int:
         "--json", default=None, metavar="PATH",
         help="also write the chaos report JSON here",
     )
+    gateway_parser.add_argument(
+        "--decode-plane", choices=("batch", "worker"), default="batch",
+        help="decode scheduling: shared micro-batching plane (default) "
+        "or one worker task per connection",
+    )
+    gateway_parser.add_argument(
+        "--flush-bytes", type=int, default=64 * 1024,
+        help="batch-plane occupancy target [bytes] before a tick fires",
+    )
+    gateway_parser.add_argument(
+        "--max-latency-ms", type=float, default=2.0,
+        help="batch-plane deadline: max decode delay under light load",
+    )
+    gateway_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="stream a batch-plane telemetry line to stderr while serving",
+    )
     device_parser = sub.add_parser(
         "device", help="run one simulated device against a gateway"
     )
@@ -970,6 +1020,10 @@ def main(argv: list[str] | None = None) -> int:
             faulty_fraction=args.faulty_fraction,
             seed=args.seed,
             json_path=args.json,
+            decode_plane=args.decode_plane,
+            flush_bytes=args.flush_bytes,
+            max_latency_ms=args.max_latency_ms,
+            telemetry=args.telemetry,
         )
     if args.command == "device":
         return cmd_device(

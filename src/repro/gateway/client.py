@@ -218,6 +218,13 @@ class DeviceClient:
         reconnect with resume (``None`` = never).
     pace_s:
         Sleep between payloads (0 = as fast as the loop allows).
+    coalesce_payloads:
+        Accumulate this many payloads per TCP write+drain (1 = one
+        write per payload, the legacy behaviour). The wire bytes,
+        fault applications and replay bookkeeping are identical —
+        only the syscall granularity changes, so a load generator can
+        saturate the gateway instead of its own ``drain()`` round
+        trips. Pacing and forced drops still flush at each payload.
     on_frame_sent:
         Latency probe ``(sequence, t_monotonic)`` called per transmitted
         frame (replays included).
@@ -237,6 +244,7 @@ class DeviceClient:
         replay_limit: int = 512,
         drop_every: int | None = None,
         pace_s: float = 0.0,
+        coalesce_payloads: int = 1,
         on_frame_sent: Callable[[int, float], None] | None = None,
         clock=time.monotonic,
     ):
@@ -246,6 +254,8 @@ class DeviceClient:
             raise ConfigurationError("replay buffer needs >= 1 slot")
         if drop_every is not None and drop_every < 1:
             raise ConfigurationError("drop_every must be >= 1 payload")
+        if coalesce_payloads < 1:
+            raise ConfigurationError("coalesce_payloads must be >= 1")
         self.host = host
         self.port = int(port)
         self.device_id = int(device_id)
@@ -261,9 +271,11 @@ class DeviceClient:
         self.replay_limit = int(replay_limit)
         self.drop_every = drop_every
         self.pace_s = float(pace_s)
+        self.coalesce_payloads = int(coalesce_payloads)
         self.on_frame_sent = on_frame_sent
         self._clock = clock
         self.report = DeviceReport(device_id=self.device_id)
+        self._prepared: list[tuple[bytes, list[bytes]]] | None = None
         self._replay: OrderedDict[int, bytes] = OrderedDict()
         self._reader_task: asyncio.Task | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -272,22 +284,70 @@ class DeviceClient:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def prepare(self) -> None:
+        """Materialize every payload's wire bytes (faults applied) now.
+
+        Load-generation front-loading for benchmarks: frame encoding
+        and fault mangling happen here, outside the measured window, so
+        :meth:`run` spends its wall time on transport and protocol
+        only. The bytes sent are identical to an unprepared run —
+        replay buffering and latency stamps still happen at send time.
+        """
+        if self._prepared is not None:
+            raise GatewayError("client already prepared")
+        self._prepared = list(self._payload_stream())
+
+    def _payload_stream(
+        self,
+    ) -> Iterator[tuple[bytes, list[bytes], list[int]]]:
+        """(wire_bytes, clean_frames, sequences) per payload."""
+        if self._prepared is not None:
+            yield from self._prepared
+            return
+        for payload in self.payloads:
+            frames = split_frames(payload)
+            seqs = [frame_sequence(f) for f in frames]
+            if self.faults is not None:
+                wire = self.faults.apply_payload(payload)
+                self.report.faults_injected = self.faults.events_applied
+            else:
+                wire = payload
+            yield wire, frames, seqs
+
     async def run(self) -> DeviceReport:
         """Stream every payload (reconnecting as needed), BYE, report."""
         await self._connect(resume=False)
         try:
-            for index, payload in enumerate(self.payloads):
-                await self._send_payload(payload)
+            wire = bytearray()
+            seqs: list[int] = []
+            for index, (p_wire, p_frames, p_seqs) in enumerate(
+                self._payload_stream()
+            ):
+                for seq, frame in zip(p_seqs, p_frames):
+                    self._buffer_frame(seq, frame)
+                seqs.extend(p_seqs)
+                wire += p_wire
                 self.report.payloads += 1
-                if (
+                forced = (
                     self.drop_every is not None
                     and (index + 1) % self.drop_every == 0
+                )
+                if (
+                    forced
+                    or self.pace_s
+                    or (index + 1) % self.coalesce_payloads == 0
                 ):
+                    await self._send_group(bytes(wire), seqs)
+                    wire = bytearray()
+                    seqs = []
+                if forced:
                     self.report.forced_drops += 1
                     await self._abort()
                     await self._connect(resume=True)
                 if self.pace_s:
                     await asyncio.sleep(self.pace_s)
+            if wire or seqs:
+                await self._send_group(bytes(wire), seqs)
             await self._send_bye()
         finally:
             await self._close()
@@ -373,28 +433,18 @@ class DeviceClient:
 
     # -- transmission --------------------------------------------------------
 
-    async def _send_payload(self, payload: bytes) -> None:
-        """Buffer the clean frames, put the (possibly mangled) bytes out."""
-        frames = split_frames(payload)
-        for frame in frames:
-            self._buffer_frame(frame)
-        wire = payload
-        if self.faults is not None:
-            wire = self.faults.apply_payload(payload)
-            self.report.faults_injected = self.faults.events_applied
-        while True:
-            try:
-                await self._write(wire, frames)
-            except (ConnectionError, OSError):
-                # The replay buffer already holds this payload's frames:
-                # reconnect-and-resume retransmits whatever the gateway
-                # missed, so nothing is silently lost here.
-                await self._abort()
-                await self._connect(resume=True)
-                return
-            return
+    async def _send_group(self, wire: bytes, seqs: list[int]) -> None:
+        """Put already-buffered (possibly mangled) bytes on the wire."""
+        try:
+            await self._write(wire, seqs)
+        except (ConnectionError, OSError):
+            # The replay buffer already holds these frames: reconnect-
+            # and-resume retransmits whatever the gateway missed, so
+            # nothing is silently lost here.
+            await self._abort()
+            await self._connect(resume=True)
 
-    async def _write(self, wire: bytes, frames: list[bytes]) -> None:
+    async def _write(self, wire: bytes, seqs: list[int]) -> None:
         writer = self._writer
         if writer is None:
             raise ConnectionResetError("no connection")
@@ -407,13 +457,12 @@ class DeviceClient:
             self._last_hb = now
         await writer.drain()
         self.report.bytes_sent += len(wire)
-        self.report.frames_sent += len(frames)
+        self.report.frames_sent += len(seqs)
         if self.on_frame_sent is not None:
-            for frame in frames:
-                self.on_frame_sent(frame_sequence(frame), now)
+            for seq in seqs:
+                self.on_frame_sent(seq, now)
 
-    def _buffer_frame(self, frame: bytes) -> None:
-        seq = frame_sequence(frame)
+    def _buffer_frame(self, seq: int, frame: bytes) -> None:
         self._replay[seq] = frame
         while len(self._replay) > self.replay_limit:
             self._replay.popitem(last=False)

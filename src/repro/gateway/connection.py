@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from ..core.session import PipelineTelemetry
+from ..daq import batchdecode
 from ..daq.stream import SampleStream
 from ..daq.usb import FrameDecoder
 from ..errors import ConfigurationError
@@ -86,9 +87,22 @@ class DeviceSession:
         self.queue: asyncio.Queue[bytes | None] = asyncio.Queue(
             maxsize=queue_chunks
         )
+        #: Set whenever the ingest queue is empty — the event-driven
+        #: drain signal (replaces the server's old polling sleep loop).
+        #: Cleared by :meth:`offer`, set by whichever consumer (worker
+        #: or batch plane) empties the queue.
+        self.queue_empty = asyncio.Event()
+        self.queue_empty.set()
         #: Optional per-frame hook ``(sequence, t_decoded_s)`` — the
         #: latency probe of the benchmark harness.
         self.frame_hook = None
+        #: Frames the device framed but whose bytes never produced a
+        #: decoded frame *or* a sequence-gap record: a tail loss right
+        #: at the BYE boundary (last frame dropped or truncated by a
+        #: fault, with no later frame whose sequence jump would reveal
+        #: it). Booked into ``lost_frames`` when :meth:`finalize`
+        #: closes the books against the BYE's lifetime count.
+        self.tail_lost_frames = 0
         # Link counters.
         self.bytes_in = 0
         self.chunks_shed = 0
@@ -140,6 +154,7 @@ class DeviceSession:
             self.chunks_shed += 1
             self.bytes_shed += len(chunk)
             return False
+        self.queue_empty.clear()
         self.queue_depth_peak = max(
             self.queue_depth_peak, self.queue.qsize()
         )
@@ -169,10 +184,70 @@ class DeviceSession:
             for frame in frames:
                 self.frame_hook(frame.sequence, now)
         self._sync_counters()
+        if self.queue.qsize() == 0:
+            self.queue_empty.set()
         return len(frames)
+
+    # -- batch-plane side ----------------------------------------------------
+
+    def take_queued(self) -> list[bytes]:
+        """Drain every queued chunk now (the batch plane's intake)."""
+        chunks: list[bytes] = []
+        while True:
+            try:
+                chunk = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if chunk is not None:
+                chunks.append(chunk)
+        return chunks
+
+    def stage_pending(self) -> batchdecode.Staged | None:
+        """Drain the queue and scan the tiled prefix; ``None`` if idle.
+
+        Chunk merging is exact: ``FrameDecoder.feed`` is chunk-boundary
+        invariant (its buffer carries split frames across feeds), so
+        decoding the concatenation of this tick's chunks produces the
+        same frames, counters and buffer state as decoding them one by
+        one — the property tests assert this bit-for-bit.
+        """
+        chunks = self.take_queued()
+        if not chunks:
+            self.queue_empty.set()
+            return None
+        tm = self.telemetry
+        t0 = time.perf_counter()
+        data = chunks[0] if len(chunks) == 1 else b"".join(chunks)
+        staged = batchdecode.stage(self.decoder, data)
+        tm.add_stage_seconds("decode", time.perf_counter() - t0)
+        tm.chunks += len(chunks)
+        tm.peak_chunk_bytes = max(
+            tm.peak_chunk_bytes, max(len(c) for c in chunks)
+        )
+        return staged
+
+    def commit_staged(self, staged: batchdecode.Staged) -> int:
+        """Book one tick's CRC-checked candidates; returns frames."""
+        tm = self.telemetry
+        t0 = time.perf_counter()
+        now = self._clock() if self.frame_hook is not None else 0.0
+        frames = batchdecode.commit(
+            self.decoder, staged, self.stream, self.frame_hook, now
+        )
+        tm.add_stage_seconds("ingest", time.perf_counter() - t0)
+        self._sync_counters()
+        if self.queue.qsize() == 0:
+            self.queue_empty.set()
+        return frames
 
     def finalize(self) -> None:
         """End of stream: drain the demux tail and the decoder.
+
+        With a BYE in hand this also closes frame conservation exactly:
+        any frames the device framed that neither arrived nor left a
+        sequence gap (a fault ate the stream tail) are booked as
+        ``tail_lost_frames`` — without this, every run whose last frame
+        died ended with ``frames_unaccounted: 1``.
 
         Idempotent; called on BYE, on DEAD, and at server shutdown.
         """
@@ -183,12 +258,20 @@ class DeviceSession:
         if tail:
             self.stream.ingest(self.decoder.feed(tail))
         self.stream.ingest(self.decoder.finalize())
+        if self.bye_seen:
+            missing = self.frames_reported - (
+                self.decoder.frames_decoded + self.decoder.lost_frames
+            )
+            if missing > 0:
+                # Not clamped to zero on the other side: if counters ever
+                # over-booked, reconcile must still catch the negative.
+                self.tail_lost_frames = missing
         self._sync_counters()
 
     def _sync_counters(self) -> None:
         tm = self.telemetry
         tm.frames_decoded = self.decoder.frames_decoded
-        tm.lost_frames = self.decoder.lost_frames
+        tm.lost_frames = self.decoder.lost_frames + self.tail_lost_frames
         tm.crc_errors = self.decoder.crc_errors
         tm.stale_frames = self.decoder.stale_frames
         tm.resync_bytes = self.decoder.resync_bytes

@@ -47,6 +47,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..daq.usb import SYNC, crc16_ccitt
 from ..errors import ConfigurationError, FramingError
 
@@ -147,6 +149,42 @@ def _unpack_control(op: int, blob: bytes) -> ControlEvent:
     return ControlEvent("bye", frames_framed=frames, faults_injected=faults)
 
 
+#: Minimum frames in a candidate run before the vectorized scan beats
+#: the scalar walk (NumPy call overhead vs ~1 us per scalar frame).
+_RUN_MIN = 16
+
+
+def _data_run_end(buf: bytearray, pos: int, n: int, total: int) -> int:
+    """End offset of the run of back-to-back ``total``-byte data frames.
+
+    The scalar demux walk costs one Python iteration plus a slice copy
+    per data frame; on the hot path (a chunk of uniform frames from one
+    encoder) the whole chunk is a single run, so the per-frame checks
+    — sync word and an equal count byte every ``total`` bytes — can be
+    one strided NumPy comparison and the copy-out one slice. The checks
+    are exactly the scalar walk's, so the first irregular candidate
+    ends the run and the scalar walk resumes from its offset. Always
+    returns at least ``pos + total`` (the caller already validated the
+    first frame's claim).
+    """
+    k = (n - pos) // total
+    if k < _RUN_MIN:
+        return pos + total
+    arr = np.frombuffer(
+        memoryview(buf)[pos : pos + k * total], dtype=np.uint8
+    ).reshape(k, total)
+    ok = (
+        (arr[:, 0] == SYNC[0])
+        & (arr[:, 1] == SYNC[1])
+        & (arr[:, 5] == buf[pos + 5])
+    )
+    bad = np.flatnonzero(~ok)
+    run = k if bad.size == 0 else int(bad[0])
+    # The view into ``buf`` dies with ``arr`` at return, so the caller's
+    # later ``del buf[:pos]`` never sees a live buffer export.
+    return pos + max(run, 1) * total
+
+
 class ControlDemux:
     """Split one interleaved connection stream into its two planes.
 
@@ -220,8 +258,9 @@ class ControlDemux:
                 total = DATA_HEADER + 2 * buf[pos + 5]
                 if n - pos < total:
                     break  # wait for the claimed frame
-                out += buf[pos : pos + total]
-                pos += total
+                end = _data_run_end(buf, pos, n, total)
+                out += buf[pos:end]
+                pos = end
             else:
                 out.append(byte)
                 pos += 1

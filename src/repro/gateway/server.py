@@ -34,13 +34,17 @@ import contextlib
 import json
 
 from ..core.session import PipelineTelemetry
-from ..errors import GatewayError
+from ..errors import ConfigurationError, GatewayError
+from .batchplane import BatchPlane
 from .connection import DeviceSession
-from .protocol import ControlEvent, heartbeat, pack_ack
+from .protocol import ControlDemux, ControlEvent, heartbeat, pack_ack
 from .watchdog import ConnectionState, Watchdog
 
-#: Socket read size; also the worker chunk granularity.
-_READ_CHUNK = 4096
+#: Socket read size; also the decode chunk granularity. Large enough
+#: that a bursty sender costs one wakeup per socket buffer, not per
+#: 4 KiB slice; the ingest queue bound is in chunks, so the byte bound
+#: scales with it.
+_READ_CHUNK = 65536
 
 
 class GatewayServer:
@@ -52,7 +56,8 @@ class GatewayServer:
         Bind address; port 0 picks an ephemeral port (see
         :attr:`port` after :meth:`start`).
     queue_chunks:
-        Per-connection ingest-queue bound (chunks of up to 4 KiB).
+        Per-connection ingest-queue bound (chunks of one socket read
+        each, up to 64 KiB).
     hello_timeout_s:
         How long a fresh socket may dawdle before its HELLO.
     watchdog_config:
@@ -70,6 +75,16 @@ class GatewayServer:
         encoders' ``samples_per_frame``), so frame-loss gaps are booked
         as full frames even across chunk flush boundaries. ``None``
         keeps the legacy follower-size estimate.
+    decode_plane:
+        ``"batch"`` (default) decodes every connection through the
+        shared :class:`~repro.gateway.batchplane.BatchPlane` scheduler;
+        ``"worker"`` keeps the legacy per-session worker tasks. Both
+        planes are bit-identical per device (asserted by the property
+        tests); batch amortizes the Python deframe/CRC cost fleet-wide.
+    flush_bytes / max_latency_s:
+        Batch-plane flush policy: tick when this many bytes are
+        pending, or this long after the first pending byte, whichever
+        comes first. Ignored in worker mode.
     """
 
     def __init__(
@@ -83,7 +98,14 @@ class GatewayServer:
         metrics_port: int | None = None,
         output_rate_hz: float = 1000.0,
         samples_per_frame: int | None = None,
+        decode_plane: str = "batch",
+        flush_bytes: int = 64 * 1024,
+        max_latency_s: float = 0.002,
     ):
+        if decode_plane not in ("batch", "worker"):
+            raise ConfigurationError(
+                "decode_plane must be 'batch' or 'worker'"
+            )
         self.host = host
         self.port = int(port)
         self.queue_chunks = int(queue_chunks)
@@ -93,6 +115,10 @@ class GatewayServer:
         self.metrics_port = metrics_port
         self.output_rate_hz = float(output_rate_hz)
         self.samples_per_frame = samples_per_frame
+        self.decode_plane = decode_plane
+        self.flush_bytes = int(flush_bytes)
+        self.max_latency_s = float(max_latency_s)
+        self.plane: BatchPlane | None = None
         self.sessions: dict[int, DeviceSession] = {}
         #: Server-level counters.
         self.connections_accepted = 0
@@ -120,6 +146,12 @@ class GatewayServer:
             self.metrics_port = (
                 self._metrics_server.sockets[0].getsockname()[1]
             )
+        if self.decode_plane == "batch":
+            self.plane = BatchPlane(
+                flush_bytes=self.flush_bytes,
+                max_latency_s=self.max_latency_s,
+            )
+            self.plane.start()
         self._ticker = asyncio.create_task(self._tick())
         return self.host, self.port
 
@@ -152,17 +184,38 @@ class GatewayServer:
                 await task
         self._workers.clear()
         self._writers.clear()
+        if self.plane is not None:
+            # Final tick: whatever the readers queued is decoded before
+            # the books close, mirroring the workers' sentinel drain.
+            await self.plane.stop()
         for session in self.sessions.values():
             session.finalize()
 
     async def drain(self, timeout_s: float = 5.0) -> bool:
-        """Wait until every ingest queue is empty (True) or time out."""
-        deadline = asyncio.get_running_loop().time() + timeout_s
-        while any(s.queue.qsize() for s in self.sessions.values()):
-            if asyncio.get_running_loop().time() >= deadline:
-                return False
-            await asyncio.sleep(0.005)
-        return True
+        """Wait until every ingest queue has been decoded empty (True)
+        or time out.
+
+        Event-driven: each session's ``queue_empty`` event is set by its
+        consumer (worker task or batch plane) the moment the last queued
+        chunk is decoded, so drain returns promptly instead of polling
+        on a sleep loop.
+        """
+        try:
+            await asyncio.wait_for(self._drained(), timeout=timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def _drained(self) -> None:
+        while True:
+            busy = [
+                s
+                for s in self.sessions.values()
+                if not s.queue_empty.is_set()
+            ]
+            if not busy:
+                return
+            await busy[0].queue_empty.wait()
 
     # -- connection handling -------------------------------------------------
 
@@ -200,9 +253,7 @@ class GatewayServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> DeviceSession | None:
         """Wait for HELLO, attach (or create) the device's session."""
-        probe = DeviceSession(  # throwaway demux until identity is known
-            device_id=0, output_rate_hz=self.output_rate_hz
-        )
+        probe = ControlDemux()  # throwaway until identity is known
         hello: ControlEvent | None = None
         pending = b""
         deadline = asyncio.get_running_loop().time() + self.hello_timeout_s
@@ -221,7 +272,7 @@ class GatewayServer:
             if not data:
                 self.handshake_failures += 1
                 return None
-            data_bytes, events = probe._demux.feed(data)
+            data_bytes, events = probe.feed(data)
             pending += data_bytes
             for event in events:
                 if event.kind == "hello":
@@ -239,19 +290,21 @@ class GatewayServer:
                 output_rate_hz=self.output_rate_hz,
                 samples_per_frame=self.samples_per_frame,
             )
-            self.sessions[hello.device_id] = session
-            self._workers[hello.device_id] = asyncio.create_task(
-                self._work(session)
-            )
+            self._attach(session)
             if not hello.resume:
                 session.fresh_start()
         elif hello.resume:
             session.reconnects += 1
             session.watchdog.revive()
+            if self.plane is not None:
+                # Catch the decoder up before ACKing, so the resume
+                # point reflects every byte already received.
+                self.plane.flush_lane(session)
         else:
             # Same id, fresh stream: the device restarted. Close the old
             # books and start over in place.
             session.finalize()
+            old_session = session
             old_hook = session.frame_hook
             session = DeviceSession(
                 device_id=hello.device_id,
@@ -261,15 +314,17 @@ class GatewayServer:
                 samples_per_frame=self.samples_per_frame,
             )
             session.frame_hook = old_hook
-            self.sessions[hello.device_id] = session
-            old_worker = self._workers.get(hello.device_id)
-            if old_worker is not None:
-                old_worker.cancel()
-                with contextlib.suppress(asyncio.CancelledError):
-                    await old_worker
-            self._workers[hello.device_id] = asyncio.create_task(
-                self._work(session)
-            )
+            if self.plane is not None:
+                # Drop the restarted stream's undecoded backlog, as
+                # cancelling its worker would.
+                self.plane.detach(old_session)
+            else:
+                old_worker = self._workers.get(hello.device_id)
+                if old_worker is not None:
+                    old_worker.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await old_worker
+            self._attach(session)
             session.fresh_start()
         session.connections += 1
         self._writers[session.device_id] = writer
@@ -282,10 +337,20 @@ class GatewayServer:
             self._ingest(session, pending, writer)
         # Any control messages the throwaway demux still holds split?
         # Its buffer is part of `pending`'s continuation — hand it over.
-        tail = probe._demux.drain()
+        tail = probe.drain()
         if tail:
             self._ingest(session, tail, writer)
         return session
+
+    def _attach(self, session: DeviceSession) -> None:
+        """Register a session with whichever decode plane is active."""
+        self.sessions[session.device_id] = session
+        if self.plane is not None:
+            self.plane.attach(session)
+        else:
+            self._workers[session.device_id] = asyncio.create_task(
+                self._work(session)
+            )
 
     def _ingest(
         self,
@@ -303,7 +368,8 @@ class GatewayServer:
                 session.note_bye(event)
             # Mid-stream HELLO/ACK frames are protocol noise; their
             # bytes were already counted by the demux.
-        session.offer(data_bytes)
+        if session.offer(data_bytes) and self.plane is not None:
+            self.plane.notify(session, len(data_bytes))
 
     async def _pump(
         self,
@@ -332,8 +398,8 @@ class GatewayServer:
             await asyncio.sleep(0)
 
     async def _drain_session(self, session: DeviceSession) -> None:
-        while session.queue.qsize():
-            await asyncio.sleep(0.001)
+        while not session.queue_empty.is_set():
+            await session.queue_empty.wait()
 
     # -- control plane -------------------------------------------------------
 
@@ -400,6 +466,7 @@ class GatewayServer:
             "server": {
                 "connections_accepted": self.connections_accepted,
                 "handshake_failures": self.handshake_failures,
+                "decode_plane": self.decode_plane,
                 "sessions": len(self.sessions),
                 "healthy": sum(
                     1 for s in states if s is ConnectionState.HEALTHY
@@ -434,6 +501,9 @@ class GatewayServer:
                     s.reconnects for s in self.sessions.values()
                 ),
             },
+            "batch_plane": (
+                self.plane.metrics() if self.plane is not None else None
+            ),
             "connections": connections,
         }
 

@@ -76,6 +76,25 @@ class TestAccounting:
         assert view.faults_injected == 1
         assert view.frames_unaccounted == 1  # the tail frame that died
         session.reconcile()  # faults reported -> relaxation applies
+        # finalize closes the books: the tail frame that produced
+        # neither a decode nor a sequence gap is booked as lost.
+        session.finalize()
+        view = session.telemetry_view()
+        assert session.tail_lost_frames == 1
+        assert view.lost_frames == 1
+        assert view.frames_unaccounted == 0
+        session.reconcile()
+
+    def test_finalize_books_no_tail_when_everything_arrived(self):
+        session = DeviceSession(device_id=1)
+        session.fresh_start()
+        session.decode(_payload(3))
+        session.note_bye(_bye_event(frames=3))
+        session.finalize()
+        view = session.telemetry_view()
+        assert session.tail_lost_frames == 0
+        assert view.frames_unaccounted == 0
+        session.reconcile()
 
     def test_without_bye_books_close_at_evidence(self):
         session = DeviceSession(device_id=1)
