@@ -1,0 +1,209 @@
+"""PERF bench: N x N array scan through the fused batch kernel.
+
+Writes ``BENCH_array.json`` at the repo root. Two gates:
+
+* ``test_array_scan_identity_and_speedup`` — the 64x64 fused scan must
+  be bit-identical, element for element, to the sequential reference
+  (snapshot-restore single sessions on a noiseless chain), and at least
+  10x faster in elements/s. A scan that is fast but not bit-identical
+  is wrong, not fast.
+* ``test_array_frame_rates`` — host-side wall frame rate at 8x8, 16x16
+  and 64x64, with a floor on the 8x8 figure, plus the *device-time*
+  :class:`~repro.array.mux.ScanSchedule` timetable (shared converter vs
+  one ΣΔ bank per column) for each size.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import print_rows
+
+from repro.array.scan import ScanController
+from repro.batch import batch_kernel_available
+from repro.core.chain import ReadoutChain
+from repro.params import ArrayParams, NonidealityParams, SystemParams
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_array.json"
+
+DWELL_WORDS = 24  # 9 settle words + 15 valid, comfortably real
+DECIMATION = 128
+IDENTITY_SIZE = (64, 64)
+FRAME_SIZES = ((8, 8), (16, 16), (64, 64))
+REQUIRED_SPEEDUP = 10.0
+MIN_8X8_FRAME_RATE_HZ = 5.0
+
+
+def update_bench(section: dict) -> None:
+    """Merge keys into BENCH_array.json, preserving the other test's."""
+    report = {}
+    if BENCH_PATH.exists():
+        try:
+            report = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(section)
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def make_chain(rows: int, cols: int) -> ReadoutChain:
+    base = SystemParams()
+    params = base.replace(
+        array=ArrayParams(rows=rows, cols=cols, membrane=base.array.membrane),
+        nonideality=NonidealityParams.ideal(),
+    )
+    return ReadoutChain(params)
+
+
+def scan_segments(n_elements: int, dwell: int) -> np.ndarray:
+    """Per-element dwell pressures: a test tone with per-element phase.
+
+    The bench measures scan throughput and bit-identity, not
+    physiology, so the stimulus is a fast tone that exercises several
+    output words per element rather than a cardiac-rate pulse.
+    """
+    t = np.arange(dwell) / 128e3
+    phases = 0.03 * np.arange(n_elements)
+    return 2000.0 * np.sin(
+        2 * np.pi * 40.0 * t[None, :] + phases[:, None]
+    )
+
+
+def run_fused_scan_timed(rows: int, cols: int, segments: np.ndarray):
+    """One full-array scan; returns (records, wall_s, used_fused_path)."""
+    chain = make_chain(rows, cols)
+    controller = ScanController(chain.chip.mux)
+    start = time.perf_counter()
+    records = controller.scan_records(chain, segments=segments, fused=True)
+    wall = time.perf_counter() - start
+    return records, wall, controller.last_scan_fused
+
+
+def test_array_scan_identity_and_speedup():
+    """64x64 fused scan == sequential reference, and >= 10x faster."""
+    rows, cols = IDENTITY_SIZE
+    n_el = rows * cols
+    dwell = DWELL_WORDS * DECIMATION
+    segments = scan_segments(n_el, dwell)
+
+    # Warm-up at 2x2 amortizes kernel compile + transfer-fit caches.
+    run_fused_scan_timed(2, 2, scan_segments(4, dwell))
+
+    fused, fused_wall, used_fused = run_fused_scan_timed(
+        rows, cols, segments
+    )
+
+    # Sequential reference: one single-lane session per element, each
+    # restored to the pre-scan modulator state (the matched-bank
+    # semantics the batched/fused scan implements). The zero field is
+    # reused across elements to keep the reference allocation-light.
+    chain = make_chain(rows, cols)
+    saved = chain.chip.state_snapshot()
+    field = np.zeros((dwell, n_el))
+    columns = []
+    seq_start = time.perf_counter()
+    for k in range(n_el):
+        chain.chip.restore_state(saved)
+        session = chain.session(element=k)
+        field[:, k] = segments[k]
+        session.feed_pressure(field)
+        field[:, k] = 0.0
+        columns.append(session.recording().values)
+    seq_wall = time.perf_counter() - seq_start
+    n = min(c.size for c in columns)
+    reference = np.column_stack([c[:n] for c in columns])
+
+    identical = bool(np.array_equal(fused[:n], reference))
+    fused_rate = n_el / fused_wall
+    seq_rate = n_el / seq_wall
+    speedup = fused_rate / seq_rate
+
+    update_bench(
+        {
+            "kernel_available": batch_kernel_available(),
+            "identity_size": f"{rows}x{cols}",
+            "dwell_words": DWELL_WORDS,
+            "bit_identical_64x64": identical,
+            "fused_path_used": used_fused,
+            "fused_elements_per_s": fused_rate,
+            "sequential_elements_per_s": seq_rate,
+            "speedup_vs_sequential": speedup,
+        }
+    )
+    print_rows(
+        "64x64 fused scan vs sequential reference (1 core)",
+        [
+            ("elements x dwell words", "-", f"{n_el} x {DWELL_WORDS}"),
+            (
+                "bit-identical",
+                "required",
+                "yes" if identical else "MISMATCH",
+            ),
+            ("fused rate", "-", f"{fused_rate:.0f} elements/s"),
+            ("sequential rate", "-", f"{seq_rate:.0f} elements/s"),
+            ("speedup", ">= 10x", f"{speedup:.1f}x"),
+        ],
+    )
+    assert identical, "fused 64x64 scan diverged from sequential reference"
+    if used_fused:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"fused scan {speedup:.1f}x sequential, need "
+            f">= {REQUIRED_SPEEDUP}x"
+        )
+
+
+def test_array_frame_rates():
+    """Wall frame rate over array sizes + the device-time timetable."""
+    dwell = DWELL_WORDS * DECIMATION
+    # Warm-up (kernel compile, caches).
+    run_fused_scan_timed(2, 2, scan_segments(4, dwell))
+
+    sizes = {}
+    rows_out = []
+    for rows, cols in FRAME_SIZES:
+        n_el = rows * cols
+        segments = scan_segments(n_el, dwell)
+        _, wall, used_fused = run_fused_scan_timed(rows, cols, segments)
+        chain = make_chain(rows, cols)
+        controller = ScanController(chain.chip.mux)
+        shared = controller.schedule(
+            chain.fpga.filter, valid_words=DWELL_WORDS - 9
+        )
+        banked = controller.schedule(
+            chain.fpga.filter, valid_words=DWELL_WORDS - 9, banks=cols
+        )
+        key = f"{rows}x{cols}"
+        sizes[key] = {
+            "fused_path_used": used_fused,
+            "wall_seconds": wall,
+            "host_frame_rate_hz": 1.0 / wall,
+            "host_elements_per_s": n_el / wall,
+            "device_frame_rate_hz": shared.frame_rate_hz,
+            "device_frame_rate_banked_hz": banked.frame_rate_hz,
+            "device_elements_per_s": shared.elements_per_s,
+        }
+        rows_out.append(
+            (
+                f"{key} host frame rate",
+                "-",
+                f"{1.0 / wall:.1f} Hz ({n_el / wall:.0f} elements/s)",
+            )
+        )
+        rows_out.append(
+            (
+                f"{key} device frame rate",
+                "timetable",
+                f"{shared.frame_rate_hz:.3f} Hz shared / "
+                f"{banked.frame_rate_hz:.3f} Hz per-column banks",
+            )
+        )
+    update_bench({"sizes": sizes})
+    print_rows("array scan frame rates", rows_out)
+    if batch_kernel_available():
+        assert sizes["8x8"]["host_frame_rate_hz"] >= MIN_8X8_FRAME_RATE_HZ, (
+            f"8x8 host frame rate "
+            f"{sizes['8x8']['host_frame_rate_hz']:.1f} Hz below the "
+            f"{MIN_8X8_FRAME_RATE_HZ} Hz floor"
+        )

@@ -11,14 +11,43 @@ sigma-delta converter's signal bandwidth.
 
 from .element import ArrayElement
 from .array2d import SensorArray
-from .mux import AnalogMultiplexer, MuxTimingAnalysis
-from .scan import ElementSelection, ScanController
+from .fusedscan import fused_scan_supported, run_fused_scan
+from .imaging import (
+    ArteryEstimate,
+    FusionResult,
+    amplitude_image,
+    fuse_elements,
+    localize_artery,
+    log_parabola_vertex,
+    register_shift,
+)
+from .mux import (
+    AnalogMultiplexer,
+    MuxTimingAnalysis,
+    ScanSchedule,
+    analyze_mux_timing,
+    plan_scan,
+)
+from .scan import ElementSelection, ScanController, ScanTruncation
 
 __all__ = [
     "AnalogMultiplexer",
     "ArrayElement",
+    "ArteryEstimate",
     "ElementSelection",
+    "FusionResult",
     "MuxTimingAnalysis",
     "ScanController",
+    "ScanSchedule",
+    "ScanTruncation",
     "SensorArray",
+    "amplitude_image",
+    "analyze_mux_timing",
+    "fuse_elements",
+    "fused_scan_supported",
+    "localize_artery",
+    "log_parabola_vertex",
+    "plan_scan",
+    "register_shift",
+    "run_fused_scan",
 ]

@@ -83,6 +83,26 @@ class SensorArray:
 
     # -- evaluation -------------------------------------------------------------
 
+    def vectorized_transfer(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-element (scale, offset) vectors, when the whole array shares
+        one membrane transfer.
+
+        Every stock element is ``sensor.capacitance_f(P) * scale + offset``
+        with the array's shared :class:`MembraneSensor`, so the full-array
+        field can be evaluated with one interpolant pass and a broadcast.
+        Returns ``None`` when any element carries its own sensor model (a
+        caller-substituted exotic element), in which case evaluation must
+        fall back to the per-element loop.
+        """
+        scales = np.empty(self.n_elements)
+        offsets = np.empty(self.n_elements)
+        for k, element in enumerate(self.elements):
+            if type(element) is not ArrayElement or element.sensor is not self.sensor:
+                return None
+            scales[k] = element.capacitance_scale
+            offsets[k] = element.offset_cap_f
+        return scales, offsets
+
     def capacitances_f(
         self, element_pressures_pa: np.ndarray
     ) -> np.ndarray:
@@ -90,7 +110,12 @@ class SensorArray:
 
         ``element_pressures_pa`` is either shape (n_elements,) for one
         instant or (n_samples, n_elements) for a time series; the result
-        has the same shape.
+        has the same shape. When all elements share the array's membrane
+        transfer (the stock construction) this is one vectorized
+        interpolant pass over the whole field — O(1) NumPy calls instead
+        of a per-element Python loop, and bit-identical to it, since both
+        the Chebyshev evaluation and the mismatch scale/offset are
+        elementwise.
         """
         pressures = np.asarray(element_pressures_pa, dtype=float)
         if pressures.shape[-1] != self.n_elements:
@@ -98,6 +123,11 @@ class SensorArray:
                 f"last axis must have {self.n_elements} entries "
                 f"(got shape {pressures.shape})"
             )
+        transfer = self.vectorized_transfer()
+        if transfer is not None:
+            scales, offsets = transfer
+            caps = self.sensor.capacitance_f(pressures)
+            return caps * scales + offsets
         flat = pressures.reshape(-1, self.n_elements)
         out = np.empty_like(flat)
         for k, element in enumerate(self.elements):

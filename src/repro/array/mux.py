@@ -143,18 +143,173 @@ class AnalogMultiplexer:
             raise ConfigurationError("dwell must be >= 1 sample")
         if pressures.shape[0] < dwell_samples * n_elements:
             raise ConfigurationError("pressure field too short for the scan")
-        caps = np.empty((n_elements, dwell_samples))
-        current = self._selected
-        for k in range(n_elements):
-            segment = pressures[k * dwell_samples : (k + 1) * dwell_samples]
-            caps[k] = self.array.elements[k].capacitance_f(segment[:, k])
-            if k != current or self._just_switched:
-                caps[k, 0] += self.charge_injection_c / 2.5
-                self._just_switched = False
-            current = k
+        # Gather each element's own dwell window: the (n_elements, dwell)
+        # "diagonal" of the field. Only these samples ever reach the
+        # readout, so a large-array scan never needs the full field.
+        idx = np.arange(n_elements)
+        windows = pressures[: dwell_samples * n_elements].reshape(
+            n_elements, dwell_samples, n_elements
+        )
+        return self.scan_segments_capacitance_f(windows[idx, :, idx])
+
+    def scan_segments_capacitance_f(
+        self, dwell_pressures_pa: np.ndarray
+    ) -> np.ndarray:
+        """Routed capacitance for a scan given per-element dwell segments.
+
+        ``dwell_pressures_pa`` has shape ``(n_elements, dwell_samples)``:
+        row k is the membrane pressure element k sees during its own visit.
+        This is the memory-lean entry point for large arrays — O(elements x
+        dwell) instead of the O(samples x elements) full field that
+        :meth:`scan_routed_capacitance_f` accepts — with identical routing,
+        charge-injection and selection semantics.
+        """
+        segments = np.asarray(dwell_pressures_pa, dtype=float)
+        n_elements = self.array.n_elements
+        if segments.ndim != 2 or segments.shape[0] != n_elements:
+            raise ConfigurationError(
+                "expected shape (n_elements, dwell_samples)"
+            )
+        if segments.shape[1] < 1:
+            raise ConfigurationError("dwell must be >= 1 sample")
+        transfer = self.array.vectorized_transfer()
+        if transfer is not None:
+            scales, offsets = transfer
+            caps = (
+                self.array.sensor.capacitance_f(segments)
+                * scales[:, None]
+                + offsets[:, None]
+            )
+        else:
+            caps = np.empty_like(segments)
+            for k in range(n_elements):
+                caps[k] = self.array.elements[k].capacitance_f(segments[k])
+        # Every visit is a switch except re-selecting the element that was
+        # already routed when the scan started (k == 0 only: every later
+        # visit k follows element k-1 != k).
+        inject = self.charge_injection_c / 2.5
+        caps[1:, 0] += inject
+        if self._selected != 0 or self._just_switched:
+            caps[0, 0] += inject
         self._selected = n_elements - 1
         self._just_switched = False
         return caps
+
+
+@dataclass(frozen=True)
+class ScanSchedule:
+    """Row/column scan timetable for an N x M array (THEORY.md §13).
+
+    The mux switch itself settles in nanoseconds; the budget is the
+    decimation filter flushing the previous element (``settle_words``
+    output words discarded per visit, from :class:`MuxTimingAnalysis`).
+    ``banks`` models how many ΣΔ converters digitize concurrently:
+    1 is the paper's shared-converter scan, ``cols`` is a per-column
+    bank (each bank walks its own column set), dividing frame time by
+    the bank count. The fused batch kernel maps banks onto
+    ``repro.batch`` lanes, so device-time concurrency and host-time
+    vectorization use the same axis.
+    """
+
+    rows: int
+    cols: int
+    banks: int
+    settle_words: int
+    valid_words: int
+    output_rate_hz: float
+    total_decimation: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array must be at least 1x1")
+        if not 1 <= self.banks <= self.n_elements:
+            raise ConfigurationError(
+                f"banks must be in 1..{self.n_elements}"
+            )
+        if self.settle_words < 0 or self.valid_words < 1:
+            raise ConfigurationError(
+                "need settle_words >= 0 and valid_words >= 1"
+            )
+        if self.output_rate_hz <= 0 or self.total_decimation < 1:
+            raise ConfigurationError("bad output rate / decimation")
+
+    @property
+    def n_elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def words_per_visit(self) -> int:
+        """Output words spent per element visit (settle + valid)."""
+        return self.settle_words + self.valid_words
+
+    @property
+    def dwell_mod_samples(self) -> int:
+        """Modulator clocks per element visit."""
+        return self.words_per_visit * self.total_decimation
+
+    @property
+    def element_dwell_s(self) -> float:
+        return self.words_per_visit / self.output_rate_hz
+
+    @property
+    def visits_per_bank(self) -> int:
+        """Elements each converter bank digitizes per frame."""
+        return math.ceil(self.n_elements / self.banks)
+
+    @property
+    def frame_time_s(self) -> float:
+        """Device time for one full-array frame."""
+        return self.visits_per_bank * self.element_dwell_s
+
+    @property
+    def frame_rate_hz(self) -> float:
+        return 1.0 / self.frame_time_s
+
+    @property
+    def elements_per_s(self) -> float:
+        """Device-time element visit rate across all banks."""
+        return self.n_elements / self.frame_time_s
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of converter words that are valid (not flush)."""
+        return self.valid_words / self.words_per_visit
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                f"scan schedule {self.rows}x{self.cols}, "
+                f"{self.banks} converter bank(s)",
+                f"  dwell      : {self.settle_words} settle + "
+                f"{self.valid_words} valid words "
+                f"({self.element_dwell_s * 1e3:.1f} ms/element)",
+                f"  frame      : {self.frame_time_s:.3f} s "
+                f"({self.frame_rate_hz:.3f} Hz)",
+                f"  throughput : {self.elements_per_s:.1f} elements/s, "
+                f"efficiency {self.efficiency:.0%}",
+            ]
+        )
+
+
+def plan_scan(
+    timing: MuxTimingAnalysis,
+    rows: int,
+    cols: int,
+    output_rate_hz: float,
+    total_decimation: int,
+    valid_words: int = 1,
+    banks: int = 1,
+) -> ScanSchedule:
+    """Build the scan timetable from a mux/decimator settling budget."""
+    return ScanSchedule(
+        rows=rows,
+        cols=cols,
+        banks=banks,
+        settle_words=timing.output_words_discarded,
+        valid_words=valid_words,
+        output_rate_hz=output_rate_hz,
+        total_decimation=total_decimation,
+    )
 
 
 @dataclass(frozen=True)

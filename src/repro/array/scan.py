@@ -17,7 +17,7 @@ import numpy as np
 from ..errors import ConfigurationError, SignalQualityError
 from ..parallel import ExecutorTelemetry, ParallelExecutor
 from .array2d import SensorArray
-from .mux import AnalogMultiplexer
+from .mux import AnalogMultiplexer, ScanSchedule, analyze_mux_timing, plan_scan
 
 #: Master seed for the per-element noise streams of a parallel scan.
 #: Fixed so repeated scans (and any worker count) draw identically.
@@ -78,6 +78,44 @@ class ElementHealthReport:
 
 
 @dataclass(frozen=True)
+class ScanTruncation:
+    """Word accounting for one scan's records (no more silent drops).
+
+    Element records can legitimately differ in length — the element that
+    was already routed when the scan started needs no filter flush, so
+    its record keeps the words the FPGA suppresses everywhere else. The
+    scan aligns all elements on the common word count; this report books
+    exactly what that alignment dropped, per element.
+    """
+
+    #: Words each element's record held before alignment.
+    words_recorded: np.ndarray
+    #: Common word count every column was cut to.
+    words_kept: int
+    #: Trailing words dropped from each element's record.
+    words_dropped: np.ndarray
+
+    @property
+    def total_dropped(self) -> int:
+        return int(self.words_dropped.sum())
+
+    def describe(self) -> str:
+        uneven = np.flatnonzero(self.words_dropped)
+        head = (
+            f"scan truncation: kept {self.words_kept} words/element, "
+            f"dropped {self.total_dropped} total"
+        )
+        if uneven.size == 0:
+            return head + " (all records equal)"
+        detail = ", ".join(
+            f"element {k}: -{self.words_dropped[k]}" for k in uneven[:8]
+        )
+        if uneven.size > 8:
+            detail += f", ... ({uneven.size} elements affected)"
+        return f"{head} ({detail})"
+
+
+@dataclass(frozen=True)
 class ElementSelection:
     """Outcome of a selection scan."""
 
@@ -86,7 +124,9 @@ class ElementSelection:
     best_col: int
     #: Per-element pulsatile amplitude metric (same units as the input).
     amplitude_map: np.ndarray  # shape (rows, cols)
-    #: Ratio of best to median amplitude — a placement-quality figure.
+    #: Placement-quality figure: the winner's amplitude over the median
+    #: amplitude of the *eligible* (non-excluded) elements. Unhealthy
+    #: elements still show in the map but never bias this statistic.
     contrast: float
 
     def describe(self) -> str:
@@ -133,6 +173,10 @@ class ScanController:
         self.discard_samples = int(discard_samples)
         #: Telemetry of the most recent parallel scan (``jobs`` passed).
         self.last_scan_telemetry: ExecutorTelemetry | None = None
+        #: Word accounting of the most recent :meth:`scan_records` call.
+        self.last_scan_truncation: ScanTruncation | None = None
+        #: Whether the most recent scan ran through the fused batch kernel.
+        self.last_scan_fused: bool = False
 
     @property
     def array(self) -> SensorArray:
@@ -145,17 +189,23 @@ class ScanController:
     def scan_records(
         self,
         chain,
-        element_pressures_pa: np.ndarray,
+        element_pressures_pa: np.ndarray | None = None,
         dwell_s: float = 2.0,
         batched: bool = False,
         jobs: int | None = None,
+        *,
+        segments: np.ndarray | None = None,
+        fused: bool = False,
     ) -> np.ndarray:
         """Sequence a chain through every element; return their records.
 
         The single owner of element-scan sequencing
         (:meth:`~repro.core.chain.ReadoutChain.scan_elements` delegates
         here). Returns (n_words, n_elements) decimated values over the
-        common word count.
+        common word count; per-element word counts can legitimately
+        differ (the element routed at scan start skips the filter
+        flush), and whatever the alignment drops is booked in
+        :attr:`last_scan_truncation` rather than lost silently.
 
         Parameters
         ----------
@@ -182,17 +232,67 @@ class ScanController:
             bit-identical for every ``jobs`` value (and identical to
             ``batched=True`` for noiseless configurations). The run's
             telemetry lands in :attr:`last_scan_telemetry`.
+        segments:
+            Alternative to ``element_pressures_pa`` for large arrays:
+            shape (n_elements, dwell_mod_samples), row k the pressure
+            element k sees during its own visit. O(elements x dwell)
+            memory instead of O(samples x elements); implies the
+            batched/fused paths (``jobs`` and the sequential path need
+            the full field). ``dwell_s`` is ignored — the dwell is the
+            row length.
+        fused:
+            Run the whole scan as one fused batch-kernel pass, every
+            element a lane — the 64x64-scan-in-one-call path. Falls
+            back to ``batched=True`` (bit-identical for every supported
+            configuration; see :mod:`repro.array.fusedscan`) when the
+            C kernel is unavailable or the chain configuration is
+            outside the kernel's envelope. :attr:`last_scan_fused`
+            records which path ran.
         """
-        pressures = np.asarray(element_pressures_pa, dtype=float)
         n_elements = self.array.n_elements
-        fs = chain.params.modulator.sampling_rate_hz
-        dwell_mod = int(dwell_s * fs)
-        if pressures.shape[0] < dwell_mod * n_elements:
-            raise ConfigurationError(
-                "pressure field too short for the requested scan"
-            )
+        if segments is not None:
+            segments = np.asarray(segments, dtype=float)
+            if segments.ndim != 2 or segments.shape[0] != n_elements:
+                raise ConfigurationError(
+                    "segments must have shape (n_elements, dwell_samples)"
+                )
+            if jobs is not None or not (batched or fused):
+                raise ConfigurationError(
+                    "segments are supported by the batched/fused scan "
+                    "paths only; pass the full field for jobs/sequential"
+                )
+            dwell_mod = segments.shape[1]
+            pressures = None
+        else:
+            if element_pressures_pa is None:
+                raise ConfigurationError(
+                    "need a pressure field or per-element segments"
+                )
+            pressures = np.asarray(element_pressures_pa, dtype=float)
+            fs = chain.params.modulator.sampling_rate_hz
+            dwell_mod = int(dwell_s * fs)
+            if pressures.shape[0] < dwell_mod * n_elements:
+                raise ConfigurationError(
+                    "pressure field too short for the requested scan"
+                )
         records = []
-        if jobs is not None:
+        self.last_scan_fused = False
+        if fused:
+            from .fusedscan import run_fused_scan
+
+            if segments is None:
+                idx = np.arange(n_elements)
+                windows = pressures[: dwell_mod * n_elements].reshape(
+                    n_elements, dwell_mod, n_elements
+                )
+                segments = windows[idx, :, idx]
+            records = run_fused_scan(chain, segments)
+            if records is not None:
+                self.last_scan_fused = True
+            else:
+                records = []
+                batched = True
+        if not records and jobs is not None:
             executor = ParallelExecutor(jobs=jobs)
             items = [
                 (chain, pressures[k * dwell_mod : (k + 1) * dwell_mod], k)
@@ -202,10 +302,13 @@ class ScanController:
                 _scan_element_task, items, seed=_SCAN_SEED
             )
             self.last_scan_telemetry = executor.telemetry
-        elif batched:
-            mod_outs = chain.chip.acquire_pressure_scan(
-                pressures[: dwell_mod * n_elements], dwell_mod
-            )
+        elif not records and batched:
+            if segments is not None:
+                mod_outs = chain.chip.acquire_scan_segments(segments)
+            else:
+                mod_outs = chain.chip.acquire_pressure_scan(
+                    pressures[: dwell_mod * n_elements], dwell_mod
+                )
             for k, mod_out in enumerate(mod_outs):
                 chain.fpga.select_element(k)
                 payload = chain.fpga.process(
@@ -213,12 +316,18 @@ class ScanController:
                 )
                 payload += chain.fpga.flush()
                 records.append(chain._collect(payload, k).values)
-        else:
+        elif not records:
             for k in range(n_elements):
                 chunk = pressures[k * dwell_mod : (k + 1) * dwell_mod]
                 rec = chain.record_pressure(chunk, element=k)
                 records.append(rec.values)
-        n = min(r.size for r in records)
+        sizes = np.array([r.size for r in records])
+        n = int(sizes.min())
+        self.last_scan_truncation = ScanTruncation(
+            words_recorded=sizes,
+            words_kept=n,
+            words_dropped=sizes - n,
+        )
         return np.column_stack([r[:n] for r in records])
 
     def element_health(
@@ -293,7 +402,8 @@ class ScanController:
             Optional boolean mask of elements barred from selection
             (``True`` = excluded) — typically ``~health.healthy`` from
             :meth:`element_health`. Excluded amplitudes still appear in
-            the amplitude map; only the winner choice skips them.
+            the amplitude map; the winner choice and the contrast
+            median skip them.
         """
         signals = np.asarray(element_signals, dtype=float)
         if signals.ndim != 2 or signals.shape[1] != self.array.n_elements:
@@ -332,7 +442,13 @@ class ScanController:
         row, col = self.array.geometry.element_rowcol(best)
         rows, cols = self.array.params.rows, self.array.params.cols
         amp_map = amplitudes.reshape(rows, cols)
-        median = float(np.median(amplitudes))
+        # Placement-quality figure: best over the *eligible* median. A
+        # half-dead array must not inflate its own contrast by letting
+        # railed/flatlined amplitudes into the reference statistic.
+        if exclude is not None:
+            median = float(np.median(amplitudes[~exclude]))
+        else:
+            median = float(np.median(amplitudes))
         contrast = float(amplitudes[best] / median) if median > 0 else float("inf")
         self.mux.select_index(best)
         return ElementSelection(
@@ -346,13 +462,16 @@ class ScanController:
     def scan_and_select(
         self,
         chain,
-        element_pressures_pa: np.ndarray,
+        element_pressures_pa: np.ndarray | None = None,
         dwell_s: float = 1.5,
         metric: str = "peak_to_peak",
         batched: bool = True,
         settle_words: int | None = None,
         jobs: int | None = None,
         health_screen: bool = False,
+        *,
+        segments: np.ndarray | None = None,
+        fused: bool = False,
     ) -> ElementSelection:
         """Drive a full scan through a readout chain and pick the winner.
 
@@ -391,6 +510,8 @@ class ScanController:
             dwell_s=dwell_s,
             batched=batched,
             jobs=jobs,
+            segments=segments,
+            fused=fused,
         )
         drop = self.discard_samples if settle_words is None else int(settle_words)
         settled = records[drop:]
@@ -400,7 +521,9 @@ class ScanController:
         return self.select_strongest(settled, metric=metric, exclude=exclude)
 
     def localize_source(
-        self, element_signals: np.ndarray
+        self,
+        element_signals: np.ndarray,
+        exclude: np.ndarray | None = None,
     ) -> tuple[float, float]:
         """Amplitude-weighted centroid: the vessel-localization estimate.
 
@@ -408,6 +531,12 @@ class ScanController:
         pulsatile source appears to lie. With only 2x2 elements this is a
         coarse interpolation, but it demonstrates the paper's claim that
         the array "can also be used for localizing blood vessels".
+
+        ``exclude`` (``True`` = excluded, typically ``~health.healthy``
+        from :meth:`element_health`) zeroes an element's centroid weight:
+        a railed element looks *strong* to peak-to-peak and would
+        otherwise drag the vessel estimate toward a dead pixel. Raises
+        :class:`SignalQualityError` when every element is excluded.
         """
         signals = np.asarray(element_signals, dtype=float)
         if signals.ndim != 2 or signals.shape[1] != self.array.n_elements:
@@ -415,6 +544,18 @@ class ScanController:
                 f"expected (n_samples, {self.array.n_elements}) signals"
             )
         amplitudes = signals.max(axis=0) - signals.min(axis=0)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=bool)
+            if exclude.shape != (self.array.n_elements,):
+                raise ConfigurationError(
+                    "exclude mask must have one entry per element"
+                )
+            if exclude.all():
+                raise SignalQualityError(
+                    "every element is excluded as unhealthy; cannot "
+                    "localize the source"
+                )
+            amplitudes = np.where(exclude, 0.0, amplitudes)
         total = float(amplitudes.sum())
         if total <= 0.0:
             raise SignalQualityError("no pulsatile signal to localize")
@@ -423,3 +564,65 @@ class ScanController:
         x = float(np.dot(weights, centers[:, 0]))
         y = float(np.dot(weights, centers[:, 1]))
         return (x, y)
+
+    def scan_and_localize(
+        self,
+        chain,
+        element_pressures_pa: np.ndarray | None = None,
+        dwell_s: float = 1.5,
+        batched: bool = True,
+        settle_words: int | None = None,
+        jobs: int | None = None,
+        health_screen: bool = True,
+        *,
+        segments: np.ndarray | None = None,
+        fused: bool = False,
+    ) -> tuple[float, float]:
+        """Scan the array through a chain and localize the vessel.
+
+        The localization sibling of :meth:`scan_and_select`: runs
+        :meth:`scan_records`, drops the filter-flush words, screens the
+        settled records with :meth:`element_health` (on by default —
+        a railed element skews a centroid far more than a selection)
+        and feeds the surviving elements to :meth:`localize_source`.
+        """
+        records = self.scan_records(
+            chain,
+            element_pressures_pa,
+            dwell_s=dwell_s,
+            batched=batched,
+            jobs=jobs,
+            segments=segments,
+            fused=fused,
+        )
+        drop = self.discard_samples if settle_words is None else int(settle_words)
+        settled = records[drop:]
+        exclude = None
+        if health_screen:
+            exclude = ~self.element_health(settled).healthy
+        return self.localize_source(settled, exclude=exclude)
+
+    def schedule(
+        self,
+        decimator,
+        valid_words: int = 1,
+        banks: int = 1,
+    ) -> ScanSchedule:
+        """Plan the N x N scan timetable for this array and a decimator.
+
+        Wraps :func:`~repro.array.mux.analyze_mux_timing` +
+        :func:`~repro.array.mux.plan_scan`: the settling budget fixes the
+        words discarded per visit, ``valid_words`` sets the dwell beyond
+        it, and ``banks`` models concurrent ΣΔ converter banks (e.g.
+        ``banks=cols`` for a per-column converter).
+        """
+        timing = analyze_mux_timing(self.mux, decimator)
+        return plan_scan(
+            timing,
+            rows=self.array.params.rows,
+            cols=self.array.params.cols,
+            output_rate_hz=decimator.output_rate_hz,
+            total_decimation=decimator.params.total_decimation,
+            valid_words=valid_words,
+            banks=banks,
+        )

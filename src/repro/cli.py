@@ -10,6 +10,7 @@
     python -m repro run population --jobs 4   # fan out over 4 workers
     python -m repro population --jobs 4   # population + executor telemetry
     python -m repro ablation osr --jobs 4 # ablation sweeps + telemetry
+    python -m repro imaging --rows 8 --cols 8   # N x N pressure imaging
     python -m repro faults --jobs 4       # fault matrix, degradation contract
     python -m repro stream                # live chunked acquisition demo
     python -m repro gateway               # serve the acquisition gateway
@@ -70,6 +71,11 @@ EXPERIMENTS: dict[str, tuple[str, Callable, bool]] = {
     "localization": (
         "Secs. 1-2 — placement tolerance and vessel localization",
         lambda: experiments.run_localization(),
+        False,
+    ),
+    "imaging": (
+        "Sec. 2 scaled — N x N pressure imaging (fused scan, artery line)",
+        lambda: experiments.run_imaging(),
         False,
     ),
     "baselines": (
@@ -398,6 +404,50 @@ def cmd_faults(
     print()
     print(result.describe())
     return 0 if result.contract_holds else 1
+
+
+def cmd_imaging(
+    rows: int = 8,
+    cols: int = 8,
+    offset_um: float = 200.0,
+    rotation_mrad: float = 60.0,
+    drift_um: float = 300.0,
+) -> int:
+    """N x N pressure-imaging workload with the scan-schedule footer.
+
+    Runs :func:`~repro.experiments.run_imaging` at the requested array
+    size, prints the paper-vs-measured rows, the amplitude image and the
+    large-array scan timetable (shared converter vs one ΣΔ bank per
+    column) that docs/THEORY.md §13 derives.
+    """
+    from .errors import ReproError
+
+    print(
+        f"imaging: {rows}x{cols} array, offset {offset_um:.0f} um, "
+        f"rotation {rotation_mrad:.0f} mrad, drift {drift_um:.0f} um ...",
+        flush=True,
+    )
+    start = time.perf_counter()
+    try:
+        result = experiments.run_imaging(
+            rows=rows,
+            cols=cols,
+            lateral_offset_m=offset_um * 1e-6,
+            rotation_rad=rotation_mrad * 1e-3,
+            drift_m=drift_um * 1e-6,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    _print_rows(f"imaging ({elapsed:.1f} s)", result.rows())
+    print()
+    print("amplitude image (modulator FS, std over one pulse period):")
+    for r in range(rows):
+        print(
+            "  " + "  ".join(f"{v:.4f}" for v in result.amplitude_map[r])
+        )
+    return 0
 
 
 #: Ablation subcommand registry: name -> runner accepting ``jobs=``.
@@ -837,6 +887,29 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", choices=["fast", "reference"], default="fast",
         help="modulator backend",
     )
+    imaging_parser = sub.add_parser(
+        "imaging",
+        help="N x N pressure-imaging workload (fused scan, artery line, "
+        "fusion, drift registration)",
+    )
+    imaging_parser.add_argument(
+        "--rows", type=int, default=8, help="array rows"
+    )
+    imaging_parser.add_argument(
+        "--cols", type=int, default=8, help="array cols"
+    )
+    imaging_parser.add_argument(
+        "--offset-um", type=float, default=200.0,
+        help="artery lateral offset [um]",
+    )
+    imaging_parser.add_argument(
+        "--rotation-mrad", type=float, default=60.0,
+        help="array rotation vs artery axis [mrad]",
+    )
+    imaging_parser.add_argument(
+        "--drift-um", type=float, default=300.0,
+        help="inter-frame placement drift to register [um]",
+    )
     ablation_parser = sub.add_parser(
         "ablation",
         help="ablation sweeps over the parallel executor, with telemetry",
@@ -991,6 +1064,14 @@ def main(argv: list[str] | None = None) -> int:
             duration_s=args.duration,
             jobs=args.jobs,
             backend=args.backend,
+        )
+    if args.command == "imaging":
+        return cmd_imaging(
+            rows=args.rows,
+            cols=args.cols,
+            offset_um=args.offset_um,
+            rotation_mrad=args.rotation_mrad,
+            drift_um=args.drift_um,
         )
     if args.command == "ablation":
         return cmd_ablation(args.names, jobs=args.jobs)

@@ -169,10 +169,13 @@ class ReadoutChain:
 
     def scan_elements(
         self,
-        element_pressures_pa: np.ndarray,
+        element_pressures_pa: np.ndarray | None = None,
         dwell_s: float = 2.0,
         batched: bool = False,
         jobs: int | None = None,
+        *,
+        segments: np.ndarray | None = None,
+        fused: bool = False,
     ) -> np.ndarray:
         """Visit every element for ``dwell_s`` and return their records.
 
@@ -197,6 +200,11 @@ class ReadoutChain:
         copies (see
         :meth:`~repro.array.scan.ScanController.scan_records`); results
         are bit-identical for every worker count.
+
+        For large arrays pass ``segments`` ((n_elements, dwell) pressures,
+        O(elements x dwell) memory) and/or ``fused=True`` to run the whole
+        scan as one fused batch-kernel pass (bit-identical to
+        ``batched=True``; see :mod:`repro.array.fusedscan`).
         """
         from ..array.scan import ScanController
 
@@ -207,4 +215,6 @@ class ReadoutChain:
             dwell_s=dwell_s,
             batched=batched,
             jobs=jobs,
+            segments=segments,
+            fused=fused,
         )

@@ -143,6 +143,22 @@ class SensorChip:
         u = self.frontend.loop_input(caps)
         return self.modulator.simulate_batch(u)
 
+    def acquire_scan_segments(
+        self, dwell_pressures_pa: np.ndarray
+    ) -> list[ModulatorOutput]:
+        """:meth:`acquire_pressure_scan` from per-element dwell segments.
+
+        Takes the (n_elements, dwell_samples) matrix of pressures each
+        element sees during its own visit — the only samples a scan ever
+        routes — so a large-array scan never materializes the
+        O(samples x elements) full field. Routing, charge injection and
+        batched-conversion semantics are identical to
+        :meth:`acquire_pressure_scan`.
+        """
+        caps = self.mux.scan_segments_capacitance_f(dwell_pressures_pa)
+        u = self.frontend.loop_input(caps)
+        return self.modulator.simulate_batch(u)
+
     def acquire_voltage(
         self, differential_voltage_v: np.ndarray
     ) -> ModulatorOutput:

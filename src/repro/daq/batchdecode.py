@@ -41,8 +41,8 @@ from ..parallel.cache import precompute_cache
 from .stream import SampleStream, StreamGap
 from .usb import _CRC_TABLE, FrameDecoder, SYNC
 
-#: Longest CRC-covered region: header (6 bytes past sync) + 255 words.
-_MAX_BODY = 6 + 2 * 255 + 2  # + sync word
+#: Longest CRC-covered region: header (7 bytes past sync) + 255 words.
+_MAX_BODY = 7 + 2 * 255 + 2  # + sync word
 
 _SYNC0, _SYNC1 = SYNC[0], SYNC[1]
 
@@ -110,7 +110,7 @@ class Run:
     """One tiled run of same-length frame candidates (not yet validated)."""
 
     pos: int  # offset of the first candidate in the decoder buffer
-    total: int  # frame length in bytes (8 + 2 * count)
+    total: int  # frame length in bytes (9 + 2 * count)
     count: int  # samples per frame
     k: int  # candidates in the run
     mat: np.ndarray  # (k, total) uint8 copy of the candidate bytes
@@ -125,7 +125,10 @@ class Run:
 
     @property
     def elements(self) -> np.ndarray:
-        return self.mat[:, 4]
+        return (
+            self.mat[:, 4].astype(np.int64)
+            | (self.mat[:, 5].astype(np.int64) << 8)
+        )
 
 
 @dataclass
@@ -154,14 +157,14 @@ def stage(decoder: FrameDecoder, data: bytes) -> Staged:
     staged = Staged(decoder=decoder)
     buf = decoder._buffer
     n = len(buf)
-    if n < 8:
+    if n < 9:
         return staged
     view = np.frombuffer(buf, dtype=np.uint8)
     pos = 0
     runs: list[tuple[int, int, int, int]] = []
-    while n - pos >= 8 and buf[pos] == _SYNC0 and buf[pos + 1] == _SYNC1:
-        count = buf[pos + 5]
-        total = 8 + 2 * count
+    while n - pos >= 9 and buf[pos] == _SYNC0 and buf[pos + 1] == _SYNC1:
+        count = buf[pos + 6]
+        total = 9 + 2 * count
         k_cap = (n - pos) // total
         if k_cap == 0:
             break  # split frame: the tail stays buffered
@@ -172,7 +175,7 @@ def stage(decoder: FrameDecoder, data: bytes) -> Staged:
             good = (
                 (block[:, 0] == _SYNC0)
                 & (block[:, 1] == _SYNC1)
-                & (block[:, 5] == count)
+                & (block[:, 6] == count)
             )
             k = k_cap if good.all() else max(int(np.argmin(good)), 1)
         runs.append((pos, total, count, k))
@@ -345,7 +348,7 @@ def _commit_run(
     count = run.count
     # int16 sample matrix (one copy; rows are handed to the stream).
     samples = np.ascontiguousarray(
-        run.mat[:k_ok, 6 : 6 + 2 * count]
+        run.mat[:k_ok, 7 : 7 + 2 * count]
     ).view("<i2").astype(np.int16)
     if k_ok > 1:
         contiguous = ((seqs[1:] - seqs[:-1]) & 0xFFFF == 1) & (

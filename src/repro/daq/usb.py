@@ -9,7 +9,11 @@ acquisition.
 
 Frame layout (little-endian):
 
-    0xA5 0x5A | seq (u16) | element (u8) | count (u8) | count * i16 | crc16
+    0xA5 0x5A | seq (u16) | element (u16) | count (u8) | count * i16 | crc16
+
+The element tag is 16 bits wide so scanned acquisition scales past a
+16x16 array: a u8 tag silently caps the scan at 256 elements and a
+64x64 (4096-element) frame aborts mid-scan at element 256.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from ..errors import ConfigurationError, FramingError
 
 SYNC = b"\xa5\x5a"
 MAX_SAMPLES_PER_FRAME = 255
-_HEADER = struct.Struct("<2sHBB")
+_HEADER = struct.Struct("<2sHHB")
 _CRC = struct.Struct("<H")
 
 
@@ -63,8 +67,8 @@ class Frame:
     def __post_init__(self) -> None:
         if not 0 <= self.sequence <= 0xFFFF:
             raise ConfigurationError("sequence must fit u16")
-        if not 0 <= self.element <= 0xFF:
-            raise ConfigurationError("element must fit u8")
+        if not 0 <= self.element <= 0xFFFF:
+            raise ConfigurationError("element must fit u16")
         if self.samples.size > MAX_SAMPLES_PER_FRAME:
             raise ConfigurationError(
                 f"at most {MAX_SAMPLES_PER_FRAME} samples per frame"

@@ -13,6 +13,7 @@ EXPERIMENTS.md numbers come from running them at full length.
 | FIG2/MEM  | :func:`membrane_transfer.run_membrane_transfer` | Sec. 2.1 transducer |
 | FIG4/MUX  | :func:`settling.run_mux_settling`         | Sec. 2.2 settling claim |
 | FIG1/LOC  | :func:`localization.run_localization`     | Sec. 2 placement/localization |
+| IMG       | :func:`imaging.run_imaging`               | Sec. 2 scaled to N x N pressure imaging |
 | INTRO-BASE| :func:`baseline_comparison.run_baseline_comparison` | Sec. 1 motivation |
 | ABL-FB    | :func:`ablations.run_feedback_ablation`   | Sec. 4 future work |
 | ABL-OSR   | :func:`ablations.run_osr_ablation`        | Sec. 4 future work |
@@ -36,6 +37,7 @@ from .table_specs import SpecTable, run_table_specs
 from .membrane_transfer import MembraneTransferResult, run_membrane_transfer
 from .settling import MuxSettlingResult, run_mux_settling
 from .localization import LocalizationResult, run_localization
+from .imaging import ImagingResult, run_imaging
 from .baseline_comparison import BaselineComparisonResult, run_baseline_comparison
 from .ablations import (
     ChopperAblationResult,
@@ -74,6 +76,7 @@ __all__ = [
     "FeedbackAblationResult",
     "Fig7Result",
     "Fig9Result",
+    "ImagingResult",
     "LocalizationResult",
     "MembraneTransferResult",
     "MuxSettlingResult",
@@ -93,6 +96,7 @@ __all__ = [
     "run_feedback_ablation",
     "run_fig7",
     "run_fig9",
+    "run_imaging",
     "run_localization",
     "run_membrane_transfer",
     "run_mux_settling",

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..array.imaging import log_parabola_vertex
 from ..errors import ConfigurationError
 from ..mems.geometry import ArrayGeometry
 from ..params import ArrayParams, SystemParams
@@ -75,21 +76,16 @@ def _log_parabola_peak(geometry: ArrayGeometry, weights: np.ndarray) -> float:
     """Estimate the Gaussian-profile peak from per-element amplitudes.
 
     Column-averages the amplitude map (the artery runs along rows), then
-    fits a parabola to ln(amplitude) vs transverse position: for a
-    Gaussian profile the fit is exact and the vertex is the artery's
+    locates the profile peak with
+    :func:`repro.array.imaging.log_parabola_vertex`: for a Gaussian
+    profile the log-parabola fit is exact and the vertex is the artery's
     transverse coordinate, even outside the array footprint.
     """
     amp = weights.reshape(geometry.rows, geometry.cols)
     col_amp = amp.mean(axis=0)
     centers = geometry.element_centers_m()
     xs = np.unique(np.round(centers[:, 0], 12))
-    log_amp = np.log(np.clip(col_amp, 1e-30, None))
-    coeffs = np.polyfit(xs, log_amp, 2)
-    if coeffs[0] >= 0.0:
-        # Degenerate (flat or inverted) profile: fall back to the
-        # strongest column.
-        return float(xs[int(np.argmax(col_amp))])
-    return float(-coeffs[1] / (2.0 * coeffs[0]))
+    return log_parabola_vertex(xs, col_amp)
 
 
 def run_localization(

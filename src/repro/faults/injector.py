@@ -325,7 +325,7 @@ class FaultInjector:
 
         The payload is the encoder's output — a concatenation of
         well-formed frames — so frames are walked by their length field
-        (sync 2 + seq 2 + element 1 + count 1 + 2·count + crc 2 bytes).
+        (sync 2 + seq 2 + element 2 + count 1 + 2·count + crc 2 bytes).
         """
         self._require_bound()
         if not payload:
@@ -333,8 +333,8 @@ class FaultInjector:
         out = bytearray()
         pos, n = 0, len(payload)
         while pos < n:
-            count = payload[pos + 5]
-            total = 8 + 2 * count
+            count = payload[pos + 6]
+            total = 9 + 2 * count
             frame = payload[pos : pos + total]
             hold = False
             for event in self._frame_events.get(self._frame_pos, ()):

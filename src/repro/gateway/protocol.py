@@ -3,7 +3,7 @@
 A device connection carries two interleaved planes on one TCP stream:
 
 * **Data plane** — the existing USB frame format
-  (:mod:`repro.daq.usb`): ``A5 5A | seq u16 | element u8 | count u8 |
+  (:mod:`repro.daq.usb`): ``A5 5A | seq u16 | element u16 | count u8 |
   count * i16 | crc16``. The gateway passes these bytes verbatim to a
   per-connection :class:`~repro.daq.usb.FrameDecoder`.
 * **Control plane** — small ESC-led frames plus a bare DLE heartbeat
@@ -79,7 +79,7 @@ FLAG_RESUME = 0x01
 FLAG_ACKED = 0x01
 
 #: Data-plane frame overhead (header + CRC) around ``2 * count`` bytes.
-DATA_HEADER = 8
+DATA_HEADER = 9
 #: Largest possible data frame (count = 255).
 MAX_DATA_FRAME = DATA_HEADER + 2 * 255
 
@@ -176,7 +176,7 @@ def _data_run_end(buf: bytearray, pos: int, n: int, total: int) -> int:
     ok = (
         (arr[:, 0] == SYNC[0])
         & (arr[:, 1] == SYNC[1])
-        & (arr[:, 5] == buf[pos + 5])
+        & (arr[:, 6] == buf[pos + 6])
     )
     bad = np.flatnonzero(~ok)
     run = k if bad.size == 0 else int(bad[0])
@@ -253,9 +253,9 @@ class ControlDemux:
                     out.append(byte)
                     pos += 1
                     continue
-                if n - pos < 6:
+                if n - pos < 7:
                     break  # wait for the count byte
-                total = DATA_HEADER + 2 * buf[pos + 5]
+                total = DATA_HEADER + 2 * buf[pos + 6]
                 if n - pos < total:
                     break  # wait for the claimed frame
                 end = _data_run_end(buf, pos, n, total)
@@ -290,7 +290,7 @@ def split_frames(payload: bytes) -> list[bytes]:
     while pos < n:
         if n - pos < DATA_HEADER or payload[pos : pos + 2] != SYNC:
             raise FramingError("payload is not a clean frame concatenation")
-        total = DATA_HEADER + 2 * payload[pos + 5]
+        total = DATA_HEADER + 2 * payload[pos + 6]
         if n - pos < total:
             raise FramingError("payload ends inside a frame")
         frames.append(payload[pos : pos + total])

@@ -129,6 +129,40 @@ class TonometricCoupling:
         """
         return self.pressure_field_fn(hold_down_pa)(arterial_pressure_pa)
 
+    def scan_pressure_segments(
+        self,
+        arterial_pressure_pa: np.ndarray,
+        dwell_samples: int,
+        hold_down_pa: float | None = None,
+    ) -> np.ndarray:
+        """Per-element dwell segments for a row-major scan of the array.
+
+        Element k of a scan only ever routes samples
+        ``[k*dwell, (k+1)*dwell)`` of the field, so a large-array scan
+        needs just this (n_elements, dwell_samples) matrix — O(elements
+        x dwell) memory instead of the O(samples x elements) full field
+        :meth:`element_pressures_pa` would materialize (171 GB at 64x64
+        with a one-second dwell). Row k is bit-identical to the
+        corresponding window/column of the full field.
+        """
+        arterial = np.asarray(arterial_pressure_pa, dtype=float)
+        if arterial.ndim != 1:
+            raise ConfigurationError("arterial pressure must be 1-D")
+        if dwell_samples < 1:
+            raise ConfigurationError("dwell must be >= 1 sample")
+        n = self.geometry.rows * self.geometry.cols
+        if arterial.size < dwell_samples * n:
+            raise ConfigurationError(
+                "arterial record too short for the requested scan"
+            )
+        state = self.contact.state(hold_down_pa)
+        weights = self.element_weights()
+        pulsatile = arterial[: dwell_samples * n].reshape(n, dwell_samples)
+        pulsatile = pulsatile - self.contact.map_pa
+        return state.static_membrane_pressure_pa + state.transmission * (
+            pulsatile * weights[:, None]
+        )
+
     def effective_gain(self, hold_down_pa: float | None = None) -> np.ndarray:
         """Per-element d(P_membrane)/d(P_arterial) at the operating point."""
         state = self.contact.state(hold_down_pa)

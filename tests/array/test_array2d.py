@@ -75,3 +75,55 @@ class TestEvaluation:
 
     def test_describe(self, array):
         assert "2x2" in array.describe()
+
+
+class TestVectorizedEvaluation:
+    def test_vectorized_matches_per_element_loop_bitwise(self):
+        """The one-pass interpolant evaluation must equal the per-element
+        loop exactly — the fused scan's bit-identity rests on it."""
+        arr = SensorArray(ArrayParams(rows=3, cols=5))
+        rng = np.random.default_rng(11)
+        pressures = 3000.0 * rng.standard_normal((40, arr.n_elements))
+        fast = arr.capacitances_f(pressures)
+        loop = np.column_stack(
+            [
+                arr.elements[k].capacitance_f(pressures[:, k])
+                for k in range(arr.n_elements)
+            ]
+        )
+        assert np.array_equal(fast, loop)
+
+    def test_transfer_vectors_reproduce_elements(self):
+        arr = SensorArray()
+        scales, offsets = arr.vectorized_transfer()
+        for k, element in enumerate(arr.elements):
+            assert scales[k] == element.capacitance_scale
+            assert offsets[k] == element.offset_cap_f
+
+    def test_exotic_element_disables_fast_path(self):
+        from repro.mems.membrane import MembraneSensor
+
+        arr = SensorArray()
+        # Substitute a private sensor model on one element: the shared-
+        # transfer shortcut no longer applies and must report so.
+        private = MembraneSensor(arr.params.membrane)
+        arr.elements[1] = type(arr.elements[1])(
+            index=1,
+            row=0,
+            col=1,
+            center_m=arr.elements[1].center_m,
+            sensor=private,
+            capacitance_scale=1.0,
+        )
+        assert arr.vectorized_transfer() is None
+        caps = arr.capacitances_f(np.zeros((3, 4)))  # loop fallback works
+        assert caps.shape == (3, 4)
+
+    def test_non_square_layout(self):
+        arr = SensorArray(ArrayParams(rows=2, cols=3))
+        assert arr.n_elements == 6
+        assert {(e.row, e.col) for e in arr} == {
+            (r, c) for r in range(2) for c in range(3)
+        }
+        caps = arr.capacitances_f(np.zeros(6))
+        assert caps == pytest.approx(arr.rest_capacitances_f())

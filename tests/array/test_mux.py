@@ -88,3 +88,145 @@ class TestTiming:
     def test_rejects_bad_resistance(self):
         with pytest.raises(ConfigurationError):
             AnalogMultiplexer(SensorArray(), switch_resistance_ohm=0.0)
+
+
+class TestScanSegments:
+    def _field(self, dwell, n_elements=4, seed=7):
+        rng = np.random.default_rng(seed)
+        return 2000.0 * rng.standard_normal((dwell * n_elements, 4))
+
+    def test_matches_sequential_selection(self):
+        """One segments call == select each element and route its dwell."""
+        dwell = 6
+        field = self._field(dwell)
+
+        seq_mux = AnalogMultiplexer(SensorArray())
+        sequential = []
+        for k in range(4):
+            seq_mux.select_index(k)
+            sequential.append(
+                seq_mux.routed_capacitance_f(
+                    field[k * dwell : (k + 1) * dwell]
+                )
+            )
+        sequential = np.vstack(sequential)
+
+        idx = np.arange(4)
+        windows = field.reshape(4, dwell, 4)
+        segments = windows[idx, :, idx]
+        got = AnalogMultiplexer(SensorArray()).scan_segments_capacitance_f(
+            segments
+        )
+        assert np.array_equal(got, sequential)
+
+    def test_full_field_entry_point_is_identical(self):
+        dwell = 5
+        field = self._field(dwell)
+        full = AnalogMultiplexer(SensorArray()).scan_routed_capacitance_f(
+            field, dwell
+        )
+        idx = np.arange(4)
+        segments = field.reshape(4, dwell, 4)[idx, :, idx]
+        segs = AnalogMultiplexer(SensorArray()).scan_segments_capacitance_f(
+            segments
+        )
+        assert np.array_equal(full, segs)
+
+    def test_injection_semantics(self, mux):
+        segments = np.zeros((4, 3))
+        caps = mux.scan_segments_capacitance_f(segments)
+        # Element 0 was already routed: no glitch. Every later visit is
+        # a real switch: one-sample glitch on its first word.
+        assert caps[0, 0] == pytest.approx(caps[0, 1])
+        assert np.all(caps[1:, 0] > caps[1:, 1])
+        assert mux.selected == 3  # scan leaves the last element routed
+
+    def test_injection_when_scan_starts_elsewhere(self):
+        mux = AnalogMultiplexer(SensorArray())
+        mux.select_index(2)
+        caps = mux.scan_segments_capacitance_f(np.zeros((4, 3)))
+        assert caps[0, 0] > caps[0, 1]  # visiting element 0 is a switch
+
+    def test_validation(self, mux):
+        with pytest.raises(ConfigurationError):
+            mux.scan_segments_capacitance_f(np.zeros((3, 5)))
+        with pytest.raises(ConfigurationError):
+            mux.scan_segments_capacitance_f(np.zeros((4, 0)))
+        with pytest.raises(ConfigurationError):
+            mux.scan_routed_capacitance_f(np.zeros((10, 4)), 5)
+
+
+class TestScanSchedule:
+    def _schedule(self, **overrides):
+        from repro.array.mux import ScanSchedule
+
+        base = dict(
+            rows=8,
+            cols=8,
+            banks=1,
+            settle_words=9,
+            valid_words=91,
+            output_rate_hz=1000.0,
+            total_decimation=128,
+        )
+        base.update(overrides)
+        return ScanSchedule(**base)
+
+    def test_shared_converter_timetable(self):
+        schedule = self._schedule()
+        assert schedule.n_elements == 64
+        assert schedule.words_per_visit == 100
+        assert schedule.dwell_mod_samples == 100 * 128
+        assert schedule.element_dwell_s == pytest.approx(0.1)
+        assert schedule.visits_per_bank == 64
+        assert schedule.frame_time_s == pytest.approx(6.4)
+        assert schedule.frame_rate_hz == pytest.approx(1 / 6.4)
+        assert schedule.elements_per_s == pytest.approx(10.0)
+        assert schedule.efficiency == pytest.approx(0.91)
+
+    def test_per_column_banks_divide_frame_time(self):
+        shared = self._schedule()
+        banked = self._schedule(banks=8)
+        assert banked.visits_per_bank == 8
+        assert banked.frame_time_s == pytest.approx(shared.frame_time_s / 8)
+        assert banked.elements_per_s == pytest.approx(
+            8 * shared.elements_per_s
+        )
+
+    def test_uneven_bank_split_rounds_up(self):
+        schedule = self._schedule(rows=3, cols=3, banks=2)
+        assert schedule.visits_per_bank == 5
+
+    def test_describe(self):
+        text = self._schedule().describe()
+        assert "8x8" in text and "settle" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._schedule(banks=0)
+        with pytest.raises(ConfigurationError):
+            self._schedule(banks=65)
+        with pytest.raises(ConfigurationError):
+            self._schedule(valid_words=0)
+        with pytest.raises(ConfigurationError):
+            self._schedule(settle_words=-1)
+        with pytest.raises(ConfigurationError):
+            self._schedule(rows=0)
+        with pytest.raises(ConfigurationError):
+            self._schedule(output_rate_hz=0.0)
+
+    def test_plan_scan_takes_settling_budget_from_timing(self, mux):
+        from repro.array.mux import plan_scan
+
+        decimator = DecimationFilter()
+        timing = analyze_mux_timing(mux, decimator)
+        schedule = plan_scan(
+            timing,
+            rows=2,
+            cols=2,
+            output_rate_hz=decimator.output_rate_hz,
+            total_decimation=decimator.params.total_decimation,
+            valid_words=5,
+        )
+        assert schedule.settle_words == timing.output_words_discarded
+        assert schedule.words_per_visit == timing.output_words_discarded + 5

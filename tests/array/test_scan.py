@@ -179,3 +179,146 @@ class TestSelectionWithExclusion:
             signals, exclude=~health.healthy
         )
         assert screened.best_index == 1
+
+
+class TestLocalizationWithExclusion:
+    def _railed(self, n):
+        railed = np.zeros(n)
+        railed[::2] = 0.999
+        railed[1::2] = -0.999
+        return railed
+
+    def test_railed_element_drags_centroid_without_mask(self, controller):
+        """Regression: a railed element looks strongest to peak-to-peak
+        and used to drag the vessel centroid into its own corner."""
+        signals = synth_signals([0.5, 0.5, 0.5, 0.5])
+        signals[:, 0] = self._railed(signals.shape[0])  # element (0, 0)
+        naive = controller.localize_source(signals)
+        assert naive[0] < 0 and naive[1] < 0  # dragged toward (-x, -y)
+
+    def test_exclude_restores_centroid(self, controller):
+        signals = synth_signals([0.5, 0.5, 0.5, 0.5])
+        signals[:, 0] = self._railed(signals.shape[0])
+        health = controller.element_health(signals)
+        assert not health.healthy[0]
+        x, y = controller.localize_source(signals, exclude=~health.healthy)
+        # Equal-amplitude centroid of the three surviving elements.
+        pitch = controller.array.geometry.pitch_m
+        assert x == pytest.approx(pitch / 6, rel=1e-3)
+        assert y == pytest.approx(pitch / 6, rel=1e-3)
+
+    def test_all_excluded_raises(self, controller):
+        with pytest.raises(SignalQualityError, match="excluded"):
+            controller.localize_source(
+                synth_signals([1, 1, 1, 1]), exclude=np.ones(4, dtype=bool)
+            )
+
+    def test_exclude_shape_validated(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.localize_source(
+                synth_signals([1, 1, 1, 1]), exclude=np.zeros(3, dtype=bool)
+            )
+
+
+class TestContrastEligibility:
+    def test_contrast_median_over_eligible_only(self, controller):
+        """The contrast reference statistic must skip excluded elements:
+        railed amplitudes in the median would misstate placement quality."""
+        signals = synth_signals([4.0, 3.0, 2.0, 1.0])
+        exclude = np.array([True, True, False, False])
+        selection = controller.select_strongest(signals, exclude=exclude)
+        assert selection.best_index == 2
+        amps = selection.amplitude_map.ravel()
+        eligible_median = np.median(amps[~exclude])
+        assert selection.contrast == pytest.approx(
+            amps[2] / eligible_median, rel=1e-9
+        )
+        # The all-element median (2.5x the eligible one here) would have
+        # reported the winner as weaker than the array background.
+        assert selection.contrast > amps[2] / np.median(amps)
+
+
+def ideal_chain(rows=2, cols=2):
+    from repro.core.chain import ReadoutChain
+    from repro.params import ArrayParams, NonidealityParams, SystemParams
+
+    base = SystemParams()
+    return ReadoutChain(
+        base.replace(
+            array=ArrayParams(
+                rows=rows, cols=cols, membrane=base.array.membrane
+            ),
+            nonideality=NonidealityParams.ideal(),
+        )
+    )
+
+
+class TestScanTruncationBooking:
+    def test_batched_scan_books_flush_asymmetry(self):
+        """The element already routed at scan start keeps the words the
+        FPGA suppresses everywhere else; the alignment drop is booked."""
+        chain = ideal_chain()
+        controller = ScanController(chain.chip.mux)
+        segments = np.zeros((4, 12 * 128))
+        records = controller.scan_records(
+            chain, segments=segments, batched=True
+        )
+        trunc = controller.last_scan_truncation
+        assert trunc is not None
+        assert records.shape[0] == trunc.words_kept
+        assert trunc.words_dropped.tolist() == [8, 0, 0, 0]
+        assert trunc.total_dropped == 8
+        assert (trunc.words_recorded - trunc.words_dropped).tolist() == [
+            trunc.words_kept
+        ] * 4
+        assert "element 0: -8" in trunc.describe()
+
+    def test_equal_records_describe(self):
+        from repro.array.scan import ScanTruncation
+
+        trunc = ScanTruncation(
+            words_recorded=np.array([5, 5]),
+            words_kept=5,
+            words_dropped=np.array([0, 0]),
+        )
+        assert trunc.total_dropped == 0
+        assert "all records equal" in trunc.describe()
+
+
+class TestScanAndLocalize:
+    def test_fused_segments_localize_hot_column(self):
+        chain = ideal_chain()
+        controller = ScanController(chain.chip.mux)
+        dwell = 24 * 128
+        t = np.arange(dwell) / 128e3
+        tone = np.sin(2 * np.pi * 40.0 * t)
+        amplitudes = np.array([500.0, 3000.0, 500.0, 3000.0])  # +x column
+        segments = amplitudes[:, None] * tone[None, :]
+        x, y = controller.scan_and_localize(
+            chain,
+            segments=segments,
+            fused=True,
+            settle_words=9,
+            health_screen=False,
+        )
+        assert x > 0
+        assert abs(y) < controller.array.geometry.pitch_m
+
+
+class TestSchedule:
+    def test_controller_schedule_wires_timing_and_layout(self, controller):
+        from repro.array.mux import analyze_mux_timing
+        from repro.dsp.decimator import DecimationFilter
+
+        decimator = DecimationFilter()
+        schedule = controller.schedule(decimator, valid_words=10, banks=2)
+        timing = analyze_mux_timing(controller.mux, decimator)
+        assert (schedule.rows, schedule.cols) == (2, 2)
+        assert schedule.banks == 2
+        assert schedule.settle_words == timing.output_words_discarded
+        assert schedule.valid_words == 10
+        assert schedule.output_rate_hz == decimator.output_rate_hz
+        assert (
+            schedule.total_decimation
+            == decimator.params.total_decimation
+        )

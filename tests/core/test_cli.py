@@ -36,6 +36,7 @@ class TestCLI:
         """Every experiment id in DESIGN.md's index is runnable."""
         expected = {
             "fig7", "fig9", "specs", "membrane", "mux", "localization",
+            "imaging",
             "baselines", "feedback", "osr", "dynamic-range",
             "noise-budget", "architectures", "robustness",
             "robustness-sweep", "design-space", "pressure-linearity",

@@ -113,8 +113,8 @@ class TestByteStreamRobustness:
     def test_corrupted_frame_dropped(self):
         payload = bytearray(self._payload(3))
         # Corrupt a sample byte in the second frame (each frame is
-        # 6 header + 16 payload + 2 crc = 24 bytes).
-        payload[24 + 10] ^= 0xFF
+        # 7 header + 16 payload + 2 crc = 25 bytes).
+        payload[25 + 10] ^= 0xFF
         dec = FrameDecoder()
         frames = dec.feed(bytes(payload))
         assert len(frames) == 2
@@ -123,7 +123,7 @@ class TestByteStreamRobustness:
     def test_lost_frame_counted(self):
         payload = self._payload(3)
         dec = FrameDecoder()
-        frames = dec.feed(payload[:24] + payload[48:])  # drop frame 1
+        frames = dec.feed(payload[:25] + payload[50:])  # drop frame 1
         assert len(frames) == 2
         assert dec.lost_frames == 1
 
@@ -164,9 +164,9 @@ class TestDecoderIdempotence:
     def test_feed_resumes_after_finalize(self):
         payload = self._payload(2)
         dec = FrameDecoder()
-        dec.feed(payload[:24])
+        dec.feed(payload[:25])
         dec.finalize()
-        assert len(dec.feed(payload[24:])) == 1
+        assert len(dec.feed(payload[25:])) == 1
         assert dec.frames_decoded == 2
 
 
@@ -174,7 +174,7 @@ class TestStaleFrames:
     def _frames(self, n):
         enc = FrameEncoder(samples_per_frame=4)
         payload = enc.push(np.arange(4 * n, dtype=np.int16), element=0)
-        return [payload[i : i + 16] for i in range(0, len(payload), 16)]
+        return [payload[i : i + 17] for i in range(0, len(payload), 17)]
 
     def test_reordered_frame_dropped_as_stale(self):
         a, b, c = self._frames(3)
@@ -252,7 +252,7 @@ class TestResyncComplexity:
         real_frame = enc.push(np.arange(8, dtype=np.int16), element=0)
 
         work = []
-        for n_pairs in (400, 800):
+        for n_pairs in (800, 1600):
             meter["bytes"] = meter["calls"] = 0
             dec = FrameDecoder()
             frames = dec.feed(self._adversarial(n_pairs) + real_frame)
@@ -264,7 +264,7 @@ class TestResyncComplexity:
         assert work[1] <= 2.5 * work[0]
         # And the constant stays bounded by the max claimable frame
         # length per 2-byte candidate stride (~260x).
-        assert work[1] <= 300 * (2 * 800)
+        assert work[1] <= 300 * (2 * 1600)
 
     def test_garbage_bytes_all_accounted(self):
         garbage = self._adversarial(100)

@@ -26,7 +26,7 @@ class TestSequenceWraparound:
         enc = FrameEncoder(samples_per_frame=8)
         enc._sequence = 0xFFFE
         payload = frames_from(enc, 4)
-        frame_len = 8 + 2 * 8
+        frame_len = 9 + 2 * 8
         # Remove the 0xFFFF and 0x0000 frames: the gap spans the wrap.
         mangled = payload[:frame_len] + payload[3 * frame_len :]
         dec = FrameDecoder()
@@ -55,9 +55,9 @@ class TestFinalize:
         than the link ever delivers."""
         enc = FrameEncoder(samples_per_frame=8)
         payload = frames_from(enc, 3)
-        frame_len = 8 + 2 * 8
+        frame_len = 9 + 2 * 8
         mangled = bytearray(payload)
-        mangled[frame_len + 5] = 255  # count byte of frame 1
+        mangled[frame_len + 6] = 255  # count byte of frame 1
         return bytes(mangled), frame_len
 
     def test_feed_stalls_behind_corrupted_count(self):
@@ -102,8 +102,8 @@ class TestMidStreamResync:
     def test_crc_failure_skips_and_recovers(self):
         enc = FrameEncoder(samples_per_frame=8)
         payload = bytearray(frames_from(enc, 3))
-        frame_len = 8 + 2 * 8
-        payload[frame_len + 9] ^= 0x40  # corrupt a sample byte of frame 1
+        frame_len = 9 + 2 * 8
+        payload[frame_len + 10] ^= 0x40  # corrupt a sample byte of frame 1
         dec = FrameDecoder()
         frames = dec.feed(bytes(payload))
         assert [f.sequence for f in frames] == [0, 2]

@@ -240,7 +240,8 @@ class TestFrameLayer:
         )
         clean = self.payload()
         out = injector.apply_payload(clean)
-        assert len(out) == len(clean) - (8 + 16) // 2
+        # 25-byte frame halved: int(25 * 0.5) = 12 bytes kept, 13 removed.
+        assert len(out) == len(clean) - (9 + 16 - (9 + 16) // 2)
 
     def test_bitflip_changes_exactly_one_bit(self):
         injector = bound_injector([self.spec_at_frame("frame_bitflip", 2)])

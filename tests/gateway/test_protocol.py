@@ -68,9 +68,9 @@ class TestDemuxInterleaving:
         data = _data_payload(2)
         wire = (
             pack_hello(9)
-            + data[:24]
+            + data[:25]
             + heartbeat()
-            + data[24:]
+            + data[25:]
             + pack_bye(2, 0)
         )
         demux = ControlDemux()

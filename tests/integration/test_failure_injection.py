@@ -63,8 +63,8 @@ class TestTransportFaults:
 
     def test_stream_with_gaps_still_usable(self):
         payload = self._frames()
-        # Drop a frame in the middle (frame length = 6 + 32 + 2 = 40).
-        cut = payload[:40 * 3] + payload[40 * 4 :]
+        # Drop a frame in the middle (frame length = 7 + 32 + 2 = 41).
+        cut = payload[:41 * 3] + payload[41 * 4 :]
         dec = FrameDecoder()
         stream = SampleStream()
         stream.ingest(dec.feed(cut))
@@ -80,7 +80,7 @@ class TestTransportFaults:
         chain = ReadoutChain(SystemParams(), rng=np.random.default_rng(4))
         spf = chain.fpga.encoder.samples_per_frame
         payload = self._frames(n_codes=5 * spf, spf=spf)
-        frame_bytes = 6 + 2 * spf + 2
+        frame_bytes = 7 + 2 * spf + 2
         cut = payload[: frame_bytes * 3] + payload[frame_bytes * 4 :]
         rec = chain._collect(cut, element=0)
         assert rec.lost_frames == 1
@@ -91,8 +91,8 @@ class TestTransportFaults:
         payload = b""
         for element in (0, 1):
             payload += enc.push(np.arange(64, dtype=np.int16), element=element)
-        # Drop one 24-byte frame from each element's run (8 frames each).
-        cut = payload[: 24 * 2] + payload[24 * 3 : 24 * 10] + payload[24 * 11 :]
+        # Drop one 25-byte frame from each element's run (8 frames each).
+        cut = payload[: 25 * 2] + payload[25 * 3 : 25 * 10] + payload[25 * 11 :]
         dec = FrameDecoder()
         stream = SampleStream()
         stream.ingest(dec.feed(cut))
@@ -138,7 +138,7 @@ class TestPathologicalPayloads:
 
     def test_recovery_after_flood_is_bounded(self):
         """A false header at the flood's tail can claim up to one
-        max-size frame (518 bytes) of look-ahead, so the first good
+        max-size frame (519 bytes) of look-ahead, so the first good
         frames after garbage may be absorbed into failed CRC checks —
         but on a *continuing* stream the decoder must resynchronize
         within that bound and then decode everything."""
@@ -149,7 +149,7 @@ class TestPathologicalPayloads:
         for _ in range(40):
             chunk = enc.push(np.arange(8, dtype=np.int16), element=1)
             decoded += len(dec.feed(chunk))
-        # 40 frames x 24 bytes = 960 bytes sent; at most ~2 frames'
+        # 40 frames x 25 bytes = 1000 bytes sent; at most ~2 frames'
         # worth may be consumed by the resync window.
         assert decoded >= 38
         # And from here on, decoding is loss-free.

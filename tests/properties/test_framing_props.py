@@ -82,7 +82,7 @@ class TestGarbageResync:
         # corrupted region can never fabricate a plausible sync word.
         codes = (np.arange(n_frames * spf) % 101).astype(np.int16)
         payload = enc.push(codes, 0)
-        size = 8 + 2 * spf
+        size = 9 + 2 * spf
         return [payload[i : i + size] for i in range(0, len(payload), size)]
 
     @given(

@@ -107,3 +107,37 @@ class TestPlacementTransfer:
             ArrayPlacement(lateral_offset_m=4e-3)
         ).effective_gain()
         assert np.all(moved < centered)
+
+
+class TestScanSegments:
+    def test_rows_match_full_field_diagonal(self, coupling):
+        """Row k must be bit-identical to the dwell window of column k in
+        the full field — the memory-lean path may not drift."""
+        dwell = 25
+        rng = np.random.default_rng(13)
+        arterial = coupling.contact.map_pa + 800.0 * rng.standard_normal(
+            dwell * 4
+        )
+        segments = coupling.scan_pressure_segments(arterial, dwell)
+        field = coupling.element_pressures_pa(arterial)
+        assert segments.shape == (4, dwell)
+        for k in range(4):
+            assert np.array_equal(
+                segments[k], field[k * dwell : (k + 1) * dwell, k]
+            )
+
+    def test_hold_down_override_forwarded(self, coupling):
+        arterial = np.full(8, coupling.contact.map_pa + 500.0)
+        weak = coupling.scan_pressure_segments(
+            arterial, 2, hold_down_pa=500.0
+        )
+        strong = coupling.scan_pressure_segments(arterial, 2)
+        assert weak.mean() < strong.mean()
+
+    def test_validation(self, coupling):
+        with pytest.raises(ConfigurationError):
+            coupling.scan_pressure_segments(np.zeros((4, 4)), 2)
+        with pytest.raises(ConfigurationError):
+            coupling.scan_pressure_segments(np.zeros(8), 0)
+        with pytest.raises(ConfigurationError):
+            coupling.scan_pressure_segments(np.zeros(7), 2)
